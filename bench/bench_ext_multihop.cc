@@ -1,0 +1,67 @@
+// Reproduces the §5.4 multi-hop extension experiment: extracting attributes
+// 1, 2, and 3 hops deep in the KG. The paper reports that explanations are
+// mostly unaffected (relevant information lives in the first hop) while the
+// candidate space and running times grow.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== §5.4: effect of multi-hop extraction ===\n");
+  for (DatasetKind kind :
+       {DatasetKind::kStackOverflow, DatasetKind::kCovid}) {
+    std::printf("\n--- %s ---\n", DatasetKindName(kind));
+    std::printf("  %s %s %s %s %s\n", Pad("hops", 5).c_str(),
+                Pad("#extracted", 11).c_str(), Pad("prep_s", 8).c_str(),
+                Pad("explain_s", 10).c_str(), "explanation (Q1)");
+    const QuerySpec query = CanonicalQueries(kind)[0].query;
+    for (size_t hops : {1u, 2u, 3u}) {
+      MesaOptions opts;
+      opts.extraction.hops = hops;
+      BenchWorld world = MakeBenchWorld(kind, BenchRows(kind), opts);
+      Timer prep;
+      MESA_CHECK(world.mesa->Preprocess().ok());
+      double prep_s = prep.Seconds();
+      Timer timer;
+      auto rep = world.mesa->Explain(query);
+      MESA_CHECK(rep.ok());
+      std::printf("  %s %s %-8.2f %-10.2f %s\n",
+                  Pad(std::to_string(hops), 5).c_str(),
+                  Pad(std::to_string(world.mesa->kg_columns().size()), 11)
+                      .c_str(),
+                  prep_s, timer.Seconds(),
+                  rep->explanation.ToString().c_str());
+      if (hops == 2) {
+        // §7 future work: which links were worth following?
+        auto links = world.mesa->RankLinks(query);
+        if (links.ok()) {
+          for (const auto& l : *links) {
+            std::printf("        link '%s' -> best %s (I=%.3f of base "
+                        "%.3f, %zu attrs)\n",
+                        l.link.c_str(), l.best_attribute.c_str(),
+                        l.best_cmi, rep->base_cmi, l.attributes);
+          }
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nShape check (paper): hop 2 adds leader_* attributes (rarely used\n"
+      "in explanations); hop 3 adds nothing relevant; candidate counts and\n"
+      "times grow with hops.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces the appendix pruning statistics: how many extracted attributes
+// each pruning stage removes per dataset (the paper: offline pruning drops
+// 41-73% of extracted attributes; online pruning a further 3-14% of the
+// survivors), plus the per-dataset missing-value and selection-bias rates
+// of §5.2.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Appendix: pruning impact and §5.2 missingness stats ===\n");
+  std::printf("%s %s %s %s %s %s\n", Pad("Dataset", 9).c_str(),
+              Pad("extracted", 10).c_str(), Pad("off-drop%", 10).c_str(),
+              Pad("on-drop%", 9).c_str(), Pad("missing%", 9).c_str(),
+              Pad("biased%", 8).c_str());
+  for (DatasetKind kind : AllDatasetKinds()) {
+    BenchWorld world = MakeBenchWorld(kind, BenchRows(kind));
+    MESA_CHECK(world.mesa->Preprocess().ok());
+
+    // Offline: pruned / (pruned + kept) over extracted attributes only.
+    size_t off_pruned = 0;
+    for (const auto& p : world.mesa->offline_prune_result().pruned) {
+      (void)p;
+      ++off_pruned;
+    }
+    size_t extracted = world.mesa->kg_columns().size() + off_pruned;
+
+    // Online pruning + per-attribute stats on Q1.
+    const QuerySpec query = CanonicalQueries(kind)[0].query;
+    auto pq = world.mesa->PrepareQuery(query);
+    MESA_CHECK(pq.ok());
+    size_t on_pruned = pq->pruned_online.size();
+    size_t on_total = pq->analysis->attributes().size();
+
+    double missing_sum = 0.0;
+    size_t kg_attrs = 0, biased = 0;
+    for (const auto& attr : pq->analysis->attributes()) {
+      if (!attr.from_kg) continue;
+      ++kg_attrs;
+      missing_sum += attr.missing_fraction;
+      biased += attr.selection_biased ? 1 : 0;
+    }
+    std::printf("%s %s %s %s %s %s\n", Pad(world.dataset.name, 9).c_str(),
+                Pad(std::to_string(extracted), 10).c_str(),
+                Pad(std::to_string(100 * off_pruned /
+                                   std::max<size_t>(1, extracted)),
+                    10)
+                    .c_str(),
+                Pad(std::to_string(100 * on_pruned /
+                                   std::max<size_t>(1, on_total)),
+                    9)
+                    .c_str(),
+                Pad(std::to_string(static_cast<int>(
+                        100.0 * missing_sum / std::max<size_t>(1, kg_attrs))),
+                    9)
+                    .c_str(),
+                Pad(std::to_string(100 * biased /
+                                   std::max<size_t>(1, kg_attrs)),
+                    8)
+                    .c_str());
+  }
+  std::printf(
+      "\nShape check (paper): substantial offline drop (type/wikiID/sparse\n"
+      "attributes), smaller online drop; Forbes has the highest missing\n"
+      "rate (category-specific vocabularies); a noticeable minority of\n"
+      "attributes carries selection bias.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Reproduces Figure 3: robustness of the explainability score to missing
+// data. For SO and Covid-19, the fraction of missing values in the ten most
+// outcome-relevant extracted attributes is swept from 0% to 70%, removing
+// values either at random or biased (top values first). Three estimators
+// are compared: MESA's IPW handling, naive complete-case analysis (bias
+// handling off), and mean imputation. A robust method keeps the curve flat
+// until most of the information is gone; imputation degrades immediately.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "missing/imputation.h"
+#include "missing/mask.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+enum class Handling { kIpw, kCompleteCase, kMeanImputation, kMultipleImputation };
+
+const char* HandlingName(Handling h) {
+  switch (h) {
+    case Handling::kIpw:
+      return "MESA (IPW)";
+    case Handling::kCompleteCase:
+      return "complete-case";
+    case Handling::kMeanImputation:
+      return "mean imputation";
+    case Handling::kMultipleImputation:
+      return "multiple imput.";
+  }
+  return "?";
+}
+
+// Explainability of MESA's explanation on a copy of the augmented table
+// with extra missingness injected into the most relevant KG attributes.
+double ScoreWithMissing(const Table& augmented, const QuerySpec& query,
+                        const std::vector<std::string>& target_attrs,
+                        double fraction, RemovalMode mode, Handling handling,
+                        uint64_t seed) {
+  Table damaged = augmented;  // deep copy
+  Rng rng(seed);
+  for (const auto& attr : target_attrs) {
+    Status st = InjectMissing(&damaged, attr, fraction, mode, &rng).status();
+    MESA_CHECK(st.ok());
+  }
+
+  auto analyze = [&](const Table& table, bool ipw) {
+    PrepareOptions prep;
+    prep.handle_selection_bias = ipw;
+    auto qa = QueryAnalysis::Prepare(table, query, target_attrs, target_attrs,
+                                     prep);
+    MESA_CHECK(qa.ok());
+    std::vector<size_t> all(qa->attributes().size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return RunMcimr(*qa, all).final_cmi;
+  };
+
+  switch (handling) {
+    case Handling::kIpw:
+      return analyze(damaged, true);
+    case Handling::kCompleteCase:
+      return analyze(damaged, false);
+    case Handling::kMeanImputation: {
+      for (const auto& attr : target_attrs) {
+        MESA_CHECK(
+            ImputeColumn(&damaged, attr, ImputationStrategy::kMeanOrMode)
+                .ok());
+      }
+      return analyze(damaged, false);
+    }
+    case Handling::kMultipleImputation: {
+      // Rubin-style pooling of the point estimate: average the analysis
+      // over m independently hot-deck-imputed completions.
+      constexpr int kImputations = 5;
+      double sum = 0.0;
+      for (int m = 0; m < kImputations; ++m) {
+        Table copy = damaged;
+        Rng imp_rng(seed * 131 + static_cast<uint64_t>(m));
+        for (const auto& attr : target_attrs) {
+          MESA_CHECK(ImputeColumn(&copy, attr, ImputationStrategy::kHotDeck,
+                                  &imp_rng)
+                         .ok());
+        }
+        sum += analyze(copy, false);
+      }
+      return sum / kImputations;
+    }
+  }
+  return 0.0;
+}
+
+void RunDataset(DatasetKind kind) {
+  BenchWorld world = MakeBenchWorld(
+      kind, kind == DatasetKind::kStackOverflow ? 15000 : 0);
+  MESA_CHECK(world.mesa->Preprocess().ok());
+  auto aug = world.mesa->augmented_table();
+  MESA_CHECK(aug.ok());
+  const QuerySpec query = CanonicalQueries(kind)[0].query;
+
+  // Rank extracted attributes by individual relevance to the outcome and
+  // take the top 10 (the paper's protocol).
+  auto pq = world.mesa->PrepareQuery(query);
+  MESA_CHECK(pq.ok());
+  std::vector<std::pair<double, std::string>> ranked;
+  for (size_t idx : pq->candidate_indices) {
+    const auto& attr = pq->analysis->attributes()[idx];
+    if (!attr.from_kg) continue;
+    // Biased removal (top values first) needs numeric attributes.
+    auto col = (*aug)->ColumnByName(attr.name);
+    if (!col.ok() || (*col)->type() == DataType::kString) continue;
+    ranked.emplace_back(pq->analysis->CmiGivenAttribute(idx), attr.name);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> targets;
+  for (size_t i = 0; i < std::min<size_t>(10, ranked.size()); ++i) {
+    targets.push_back(ranked[i].second);
+  }
+
+  std::printf("\n--- %s (query: %s) — top-%zu relevant attributes ---\n",
+              DatasetKindName(kind), query.ToSql().c_str(), targets.size());
+  for (RemovalMode mode : {RemovalMode::kRandom, RemovalMode::kTopValues}) {
+    std::printf("removal: %s\n",
+                mode == RemovalMode::kRandom ? "at random" : "biased (top values)");
+    std::printf("  %s", Pad("handling \\ missing%", 18).c_str());
+    for (int pct : {0, 10, 30, 50, 70}) std::printf(" %6d%%", pct);
+    std::printf("\n");
+    for (Handling h : {Handling::kIpw, Handling::kCompleteCase,
+                       Handling::kMeanImputation,
+                       Handling::kMultipleImputation}) {
+      std::printf("  %s", Pad(HandlingName(h), 18).c_str());
+      for (int pct : {0, 10, 30, 50, 70}) {
+        double s = ScoreWithMissing(**aug, query, targets, pct / 100.0, mode,
+                                    h, 1000 + pct);
+        std::printf(" %7.3f", s);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void Run() {
+  std::printf("=== Figure 3: explainability vs missing data ===\n");
+  RunDataset(DatasetKind::kStackOverflow);
+  RunDataset(DatasetKind::kCovid);
+  std::printf(
+      "\nShape check (paper): IPW/complete-case stay nearly flat up to ~50%%\n"
+      "missing; mean imputation degrades (scores drift upward) immediately.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

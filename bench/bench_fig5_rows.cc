@@ -1,0 +1,74 @@
+// Reproduces Figure 5: running time as a function of the dataset size
+// (rows subsampled uniformly at random, as in the paper). Times are split
+// the way the paper reports them: `mcimr_s` is the algorithm of §4.1 (what
+// the paper claims stays below 10s at 5.8M rows), `analysis_s` is query
+// preparation (coding, selection-bias detection, IPW, online pruning), and
+// `preproc_s` is the across-queries extraction + offline pruning.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/mcimr.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+void RunDataset(DatasetKind kind, const std::vector<size_t>& row_counts) {
+  // Generate at the largest size once, then subsample.
+  GenOptions gen;
+  gen.rows = row_counts.back();
+  auto ds = MakeDataset(kind, gen);
+  MESA_CHECK(ds.ok());
+  const QuerySpec query = CanonicalQueries(kind)[0].query;
+
+  std::printf("\n--- %s ---\n", DatasetKindName(kind));
+  std::printf("  %s %s %s %s\n", Pad("rows", 10).c_str(),
+              Pad("mcimr_s", 9).c_str(), Pad("analysis_s", 11).c_str(),
+              Pad("preproc_s", 10).c_str());
+  Rng rng(99);
+  for (size_t rows : row_counts) {
+    std::vector<size_t> idx = rng.Permutation(ds->table.num_rows());
+    idx.resize(rows);
+    Table sub = ds->table.TakeRows(idx);
+    Mesa mesa(std::move(sub), ds->kg.get(), ds->extraction_columns);
+    Timer preproc_timer;
+    MESA_CHECK(mesa.Preprocess().ok());
+    double preproc_s = preproc_timer.Seconds();
+    Timer analysis_timer;
+    auto pq = mesa.PrepareQuery(query);
+    MESA_CHECK(pq.ok());
+    double analysis_s = analysis_timer.Seconds();
+    Timer mcimr_timer;
+    Explanation ex = RunMcimr(*pq->analysis, pq->candidate_indices);
+    (void)ex;
+    std::printf("  %s %-9.3f %-11.3f %-10.3f\n",
+                Pad(std::to_string(rows), 10).c_str(), mcimr_timer.Seconds(),
+                analysis_s, preproc_s);
+  }
+}
+
+void Run() {
+  std::printf("=== Figure 5: runtime vs number of rows ===\n");
+  RunDataset(DatasetKind::kStackOverflow, {5000, 10000, 20000, 47623});
+  RunDataset(DatasetKind::kFlights, {25000, 50000, 100000, 200000, 400000});
+  RunDataset(DatasetKind::kForbes, {400, 800, 1647});
+  std::printf(
+      "\nShape check (paper): MCIMR's own time grows sub-linearly for\n"
+      "SO/Flights (big groups survive subsampling) and near-linearly for\n"
+      "Forbes (tiny groups). At the paper's full 5.8M Flights rows this\n"
+      "implementation measures MCIMR in the ~10-15s band single-threaded\n"
+      "(see EXPERIMENTS.md), with preparation adding ~30s on top.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

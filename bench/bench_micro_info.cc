@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the information-theoretic
+// estimator stack: entropy, MI, CMI (packed fast path vs generic fallback),
+// code combination, weighted estimation, and the permutation independence
+// test. These are the inner loops of MCIMR; Figure 4/5's scaling follows
+// directly from their costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "info/contingency.h"
+#include "info/independence.h"
+#include "info/mutual_information.h"
+
+namespace mesa {
+namespace {
+
+CodedVariable RandomVar(size_t n, int32_t card, uint64_t seed,
+                        double missing = 0.0) {
+  Rng rng(seed);
+  CodedVariable v;
+  v.cardinality = card;
+  v.codes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (missing > 0.0 && rng.NextBernoulli(missing)) {
+      v.codes.push_back(-1);
+    } else {
+      v.codes.push_back(static_cast<int32_t>(rng.NextBelow(card)));
+    }
+  }
+  return v;
+}
+
+void BM_Entropy(benchmark::State& state) {
+  auto x = RandomVar(static_cast<size_t>(state.range(0)), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Entropy(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Entropy)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_MutualInformation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto x = RandomVar(n, 8, 1);
+  auto y = RandomVar(n, 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MutualInformation(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MutualInformation)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_CmiPackedPath(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto x = RandomVar(n, 8, 1);
+  auto y = RandomVar(n, 64, 2);
+  auto z = RandomVar(n, 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalMutualInformation(x, y, z));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmiPackedPath)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_CmiGenericFallback(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto x = RandomVar(n, 8, 1);
+  auto y = RandomVar(n, 64, 2);
+  auto z = RandomVar(n, 8, 3);
+  // Oversized declared cardinalities force the CombinePair fallback.
+  x.cardinality = 1 << 30;
+  z.cardinality = 1 << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalMutualInformation(x, y, z));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmiGenericFallback)->Arg(10'000)->Arg(100'000);
+
+void BM_CmiWeighted(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto x = RandomVar(n, 8, 1, 0.2);
+  auto y = RandomVar(n, 64, 2);
+  auto z = RandomVar(n, 8, 3);
+  Rng rng(4);
+  std::vector<double> w(n);
+  for (auto& v : w) v = rng.NextUniform(0.5, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalMutualInformation(x, y, z, &w));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CmiWeighted)->Arg(10'000)->Arg(100'000);
+
+void BM_CombinePair(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto a = RandomVar(n, 16, 1);
+  auto b = RandomVar(n, 16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CombinePair(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CombinePair)->Arg(10'000)->Arg(100'000);
+
+void BM_IndependenceTest(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  CodedVariable x, y, z = RandomVar(n, 4, 3);
+  x.cardinality = y.cardinality = 3;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(rng.NextBelow(3));
+    x.codes.push_back(v);
+    y.codes.push_back(rng.NextBernoulli(0.6)
+                          ? v
+                          : static_cast<int32_t>(rng.NextBelow(3)));
+  }
+  IndependenceOptions opts;
+  opts.num_permutations = 49;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalIndependenceTest(x, y, z, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndependenceTest)->Arg(10'000)->Arg(50'000);
+
+}  // namespace
+}  // namespace mesa
+
+BENCHMARK_MAIN();

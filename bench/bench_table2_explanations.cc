@@ -1,0 +1,64 @@
+// Reproduces Table 2: the explanations every method produces for the 14
+// representative queries. Brute-Force runs only where feasible (it is
+// exponential; the paper reports it on the small Covid-19/Forbes datasets
+// only — we let it run wherever the pruned candidate set keeps it cheap).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Table 2: explanations per query and method ===\n");
+  for (DatasetKind kind : AllDatasetKinds()) {
+    BenchWorld world = MakeBenchWorld(kind, BenchRows(kind));
+    for (const BenchQuery& bq : CanonicalQueries(kind)) {
+      auto pq = world.mesa->PrepareQuery(bq.query);
+      MESA_CHECK(pq.ok());
+      std::vector<size_t> unpruned(pq->analysis->attributes().size());
+      for (size_t i = 0; i < unpruned.size(); ++i) unpruned[i] = i;
+      bool bf_feasible = pq->candidate_indices.size() <= 40;
+      auto results = RunAllMethods(*pq->analysis, pq->candidate_indices,
+                                   unpruned, 5, bf_feasible);
+      std::printf("\n%s — %s\n", bq.id.c_str(), bq.description.c_str());
+      std::printf("  %s\n", bq.query.ToSql().c_str());
+      std::printf("  ground truth: ");
+      for (size_t i = 0; i < bq.ground_truth.size(); ++i) {
+        std::printf("%s[%s]", i ? "  " : "", bq.ground_truth[i].c_str());
+      }
+      std::printf("\n");
+      for (Method m : AllMethods()) {
+        auto it = results.find(m);
+        if (it == results.end()) {
+          std::printf("  %s -\n", Pad(MethodName(m), 12).c_str());
+          continue;
+        }
+        const MethodResult& r = it->second;
+        if (!r.ok) {
+          std::printf("  %s (%s)\n", Pad(MethodName(m), 12).c_str(),
+                      r.error.c_str());
+          continue;
+        }
+        std::printf("  %s %s  [I(O;T|E)=%.3f, %.2fs]\n",
+                    Pad(MethodName(m), 12).c_str(),
+                    r.explanation.attribute_names.empty()
+                        ? "-"
+                        : SetToString(r.explanation.attribute_names).c_str(),
+                    r.explanation.final_cmi, r.seconds);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

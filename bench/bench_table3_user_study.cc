@@ -1,0 +1,69 @@
+// Reproduces Table 3 under the user-study substitution (see DESIGN.md):
+// 150 MTurk raters are replaced by a deterministic quality score measuring
+// how well each method's explanation covers the generative model's planted
+// confounders (1-5 scale). The reproduction target is the *ranking*:
+//   Brute-Force ~ MESA- ~ MESA  >  HypDB  >  Top-K  >  LR.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+void Run() {
+  std::map<Method, std::vector<double>> scores;
+  for (DatasetKind kind : AllDatasetKinds()) {
+    BenchWorld world = MakeBenchWorld(kind, BenchRows(kind));
+    for (const BenchQuery& bq : CanonicalQueries(kind)) {
+      auto pq = world.mesa->PrepareQuery(bq.query);
+      MESA_CHECK(pq.ok());
+      std::vector<size_t> unpruned(pq->analysis->attributes().size());
+      for (size_t i = 0; i < unpruned.size(); ++i) unpruned[i] = i;
+      bool bf_feasible = pq->candidate_indices.size() <= 40;
+      auto results = RunAllMethods(*pq->analysis, pq->candidate_indices,
+                                   unpruned, 5, bf_feasible);
+      for (auto& [method, r] : results) {
+        if (!r.ok) continue;
+        scores[method].push_back(
+            QualityScore(r.explanation.attribute_names, bq.ground_truth));
+      }
+    }
+  }
+
+  std::printf("=== Table 3: average explanation quality (substituted user "
+              "study) ===\n");
+  std::printf("%s %s %s %s\n", Pad("Baseline", 13).c_str(),
+              Pad("Avg Score", 10).c_str(), Pad("Variance", 9).c_str(),
+              Pad("#Queries", 8).c_str());
+  for (Method m : AllMethods()) {
+    const auto& v = scores[m];
+    if (v.empty()) continue;
+    double mean = 0;
+    for (double s : v) mean += s;
+    mean /= static_cast<double>(v.size());
+    double var = 0;
+    for (double s : v) var += (s - mean) * (s - mean);
+    var /= static_cast<double>(v.size());
+    std::printf("%s %s %s %zu\n", Pad(MethodName(m), 13).c_str(),
+                Pad(std::to_string(mean).substr(0, 4), 10).c_str(),
+                Pad(std::to_string(var).substr(0, 4), 9).c_str(), v.size());
+  }
+  std::printf("\nPaper's MTurk means: Brute-Force 3.8, MESA- 3.7, MESA 3.5,\n"
+              "HypDB 2.8, Top-K 2.1, LR 1.8 — compare the ordering, not the\n"
+              "absolute values.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main() {
+  mesa::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+#ifndef MESA_BENCH_BENCH_UTIL_H_
+#define MESA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/mesa.h"
+#include "datagen/registry.h"
+
+namespace mesa {
+namespace bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The six methods of Section 5.
+enum class Method {
+  kBruteForce,
+  kMesaMinus,  ///< MCIMR without pruning
+  kMesa,
+  kTopK,
+  kLr,
+  kHypDb,
+};
+
+const char* MethodName(Method m);
+std::vector<Method> AllMethods();
+
+/// One method's output on one query.
+struct MethodResult {
+  Explanation explanation;
+  double seconds = 0.0;
+  bool ok = true;
+  std::string error;
+};
+
+/// Runs every baseline on an already prepared query. `unpruned` carries all
+/// candidate indices (for MESA-); `pruned` the post-pruning set used by the
+/// other methods (as in the paper's setup).
+std::map<Method, MethodResult> RunAllMethods(
+    const QueryAnalysis& analysis, const std::vector<size_t>& pruned,
+    const std::vector<size_t>& unpruned, size_t k = 5,
+    bool include_brute_force = true);
+
+/// Quality scoring — the user-study substitution (see DESIGN.md): a
+/// deterministic stand-in for the MTurk 1–5 ratings of Table 3. Ground
+/// truth is a list of factor groups, each "alt1|alt2|..."; an explanation
+/// covering more groups with fewer irrelevant/redundant picks scores
+/// higher. Empty explanations score 1 (the "does not make sense" floor).
+double QualityScore(const std::vector<std::string>& explanation,
+                    const std::vector<std::string>& ground_truth_groups);
+
+/// Pretty fixed-width cell.
+std::string Pad(const std::string& s, size_t width);
+
+/// "{a, b}" for a name list.
+std::string SetToString(const std::vector<std::string>& names);
+
+/// Builds a dataset + Mesa with standard benchmark options. Flights rows
+/// default small enough for interactive benching.
+struct BenchWorld {
+  GeneratedDataset dataset;
+  std::unique_ptr<Mesa> mesa;
+};
+BenchWorld MakeBenchWorld(DatasetKind kind, size_t rows = 0,
+                          MesaOptions options = {});
+
+/// Default row counts used by the report benches (kept below the paper's
+/// full sizes so the whole suite runs in minutes; Fig. 5 sweeps beyond).
+size_t BenchRows(DatasetKind kind);
+
+}  // namespace bench
+}  // namespace mesa
+
+#endif  // MESA_BENCH_BENCH_UTIL_H_

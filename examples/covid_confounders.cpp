@@ -1,0 +1,70 @@
+// The paper's running Covid-19 example (Examples 1.1/1.2): why does the
+// choice of country have such a strong effect on the death rate? MESA
+// mines country properties from the knowledge graph and reports the
+// confounders (country success: HDI/GDP — plus the in-table confirmed-case
+// load), then shows each attribute's responsibility.
+//
+//   ./build/examples/covid_confounders
+
+#include <cstdio>
+
+#include "core/mesa.h"
+#include "datagen/registry.h"
+#include "query/group_by.h"
+
+using namespace mesa;
+
+int main() {
+  // The Covid-19 world: country-level pandemic snapshots + a DBpedia-like
+  // country KG (see src/datagen/covid_gen.cc).
+  auto ds = MakeDataset(DatasetKind::kCovid, {});
+  if (!ds.ok()) return 1;
+
+  // What Ann sees first: the grouped aggregate itself.
+  auto grouped = GroupByAggregate(ds->table, "Country",
+                                  "Deaths_per_100_cases",
+                                  AggregateFunction::kAvg);
+  if (!grouped.ok()) return 1;
+  std::printf("SELECT Country, avg(Deaths_per_100_cases) FROM Covid GROUP BY "
+              "Country\n");
+  std::printf("(%zu countries; first five)\n", grouped->groups.size());
+  for (size_t i = 0; i < 5 && i < grouped->groups.size(); ++i) {
+    std::printf("  %-14s %.2f\n",
+                grouped->groups[i].group.ToString().c_str(),
+                grouped->groups[i].aggregate);
+  }
+
+  // MESA explains the puzzling spread.
+  Mesa mesa(ds->table, ds->kg.get(), ds->extraction_columns);
+  auto report = mesa.ExplainSql(
+      "SELECT Country, avg(Deaths_per_100_cases) FROM Covid "
+      "GROUP BY Country");
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", report->Summary().c_str());
+  std::printf("candidates: %zu after offline pruning, %zu after online\n",
+              report->candidates_after_offline,
+              report->candidates_after_online);
+  for (const auto& r : report->responsibilities) {
+    std::printf("  responsibility(%-22s) = %5.2f\n", r.name.c_str(),
+                r.responsibility);
+  }
+
+  // Refined query, as in the paper: Europe only. (At 188 rows the
+  // within-region estimates are rough — the paper's Covid Q2 has the same
+  // caveat; see bench_table2_explanations for the systematic run.)
+  auto europe = mesa.ExplainSql(
+      "SELECT Country, avg(Deaths_per_100_cases) FROM Covid "
+      "WHERE WHO_Region = 'Europe' GROUP BY Country");
+  if (europe.ok()) {
+    std::printf("\nWithin Europe (%zu-row subgroup): %s\n",
+                static_cast<size_t>(europe->explanation.trace.size()),
+                europe->Summary().c_str());
+  }
+  std::printf(
+      "\nReading: countries with similar development levels (and similar\n"
+      "case loads) have similar death rates — the paper's Example 1.2.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a tiny dataset + knowledge graph by hand, ask MESA to
+// explain a suspicious correlation, and read the report.
+//
+//   ./build/examples/quickstart
+//
+// The story: average bonus differs wildly between offices. Is the office
+// really what drives the bonus? MESA mines office properties from a
+// knowledge graph and finds the confounder (the office's market size).
+
+#include <cstdio>
+
+#include "core/mesa.h"
+#include "common/rng.h"
+#include "table/table_builder.h"
+
+using namespace mesa;
+
+int main() {
+  Rng rng(7);
+
+  // 1. A knowledge graph describing offices (the "external source").
+  auto kg = std::make_shared<TripleStore>();
+  struct Office {
+    const char* name;
+    double market;   // latent market size: the true confounder
+    double altitude; // irrelevant property
+  };
+  const Office offices[] = {
+      {"Amsterdam", 0.9, 0.0}, {"Berlin", 0.8, 34.0}, {"Cairo", 0.3, 23.0},
+      {"Delhi", 0.4, 216.0},   {"Eugene", 0.5, 130.0}, {"Florence", 0.6, 50.0},
+      {"Geneva", 0.95, 375.0}, {"Hanoi", 0.35, 16.0},  {"Igarka", 0.2, 20.0},
+      {"Jakarta", 0.45, 8.0},  {"Kigali", 0.3, 1567.0}, {"Lisbon", 0.7, 2.0},
+      {"Madrid", 0.75, 667.0}, {"Nairobi", 0.4, 1795.0}, {"Oslo", 0.85, 23.0},
+      {"Prague", 0.65, 177.0}, {"Quito", 0.35, 2850.0}, {"Riga", 0.6, 6.0},
+      {"Sydney", 0.8, 58.0},   {"Tunis", 0.45, 4.0},
+  };
+  for (const Office& o : offices) {
+    EntityId id = *kg->AddEntity(o.name, "Office");
+    (void)kg->AddLiteral(id, "market_size", Value::Double(o.market));
+    (void)kg->AddLiteral(id, "altitude_m", Value::Double(o.altitude));
+  }
+
+  // 2. The analyst's dataset: one row per employee. Bonus depends on the
+  //    office's market size plus personal noise — NOT on the office per se.
+  TableBuilder builder(Schema({{"Office", DataType::kString},
+                               {"Tenure", DataType::kInt64},
+                               {"Bonus", DataType::kDouble}}));
+  for (int i = 0; i < 6000; ++i) {
+    const Office& o = offices[rng.NextBelow(std::size(offices))];
+    int64_t tenure = rng.NextInt(0, 15);
+    double bonus = 2000.0 + 9000.0 * o.market +
+                   150.0 * static_cast<double>(tenure) +
+                   rng.NextGaussian(0, 400.0);
+    if (!builder
+             .AppendRow({Value::String(o.name), Value::Int(tenure),
+                         Value::Double(bonus)})
+             .ok()) {
+      return 1;
+    }
+  }
+  auto table = builder.Finish();
+  if (!table.ok()) return 1;
+
+  // 3. Point MESA at the dataset, the KG, and the entity-bearing column.
+  Mesa mesa(std::move(*table), kg.get(), {"Office"});
+
+  // 4. Ask the question exactly the way the paper does — as SQL.
+  auto report = mesa.ExplainSql(
+      "SELECT Office, avg(Bonus) FROM employees GROUP BY Office");
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query:       SELECT Office, avg(Bonus) ... GROUP BY Office\n");
+  std::printf("correlation: I(Bonus; Office) = %.3f bits\n",
+              report->base_cmi);
+  std::printf("explanation: %s  ->  I(Bonus; Office | E) = %.3f bits\n",
+              report->explanation.ToString().c_str(), report->final_cmi);
+  for (const auto& r : report->responsibilities) {
+    std::printf("  responsibility(%s) = %.2f\n", r.name.c_str(),
+                r.responsibility);
+  }
+  std::printf("\nReading: offices with similar market size pay similar\n"
+              "bonuses — the office itself is not the cause.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef MESA_COMMON_LOGGING_H_
+#define MESA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mesa {
+
+/// Severity levels for library diagnostics.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so the library is quiet unless asked otherwise.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process with a message; used by MESA_CHECK.
+[[noreturn]] void FatalError(const char* file, int line, const std::string& msg);
+
+}  // namespace internal
+
+#define MESA_LOG(level)                                                  \
+  ::mesa::internal::LogMessage(::mesa::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that is active in all build modes. Reserved for
+/// programming errors (not data errors, which surface as Status).
+#define MESA_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mesa::internal::FatalError(__FILE__, __LINE__,                     \
+                                   "MESA_CHECK failed: " #cond);           \
+    }                                                                      \
+  } while (0)
+
+#define MESA_DCHECK(cond) assert(cond)
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#ifndef MESA_COMMON_RESULT_H_
+#define MESA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mesa {
+
+/// Holds either a value of type T or a non-OK Status, in the spirit of
+/// absl::StatusOr / arrow::Result. Accessing the value of an errored Result
+/// is a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status (OK if this result holds a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), returning its status on error; otherwise
+/// binds the value to `lhs`.
+#define MESA_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  MESA_ASSIGN_OR_RETURN_IMPL_(                              \
+      MESA_CONCAT_(_mesa_result_, __LINE__), lhs, rexpr)
+
+#define MESA_CONCAT_INNER_(a, b) a##b
+#define MESA_CONCAT_(a, b) MESA_CONCAT_INNER_(a, b)
+#define MESA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_RESULT_H_

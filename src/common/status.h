@@ -1,0 +1,81 @@
+#ifndef MESA_COMMON_STATUS_H_
+#define MESA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mesa {
+
+/// Error categories used across the library. Modelled after the RocksDB
+/// Status idiom: the library does not throw across its public API; every
+/// fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the success path
+/// (no allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns early from the enclosing function if `expr` is a non-OK Status.
+#define MESA_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::mesa::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_STATUS_H_

@@ -1,0 +1,88 @@
+#include "core/baselines/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mesa {
+
+namespace {
+
+// C(n, k) with saturation.
+size_t Choose(size_t n, size_t k, size_t cap) {
+  size_t result = 1;
+  for (size_t i = 0; i < k; ++i) {
+    if (result > cap) return cap + 1;
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+// Advances `pick` to the next k-combination of [0, n); false when done.
+bool NextCombination(std::vector<size_t>& pick, size_t n) {
+  const size_t k = pick.size();
+  for (size_t ii = k; ii > 0; --ii) {
+    size_t i = ii - 1;
+    if (pick[i] < i + n - k) {
+      ++pick[i];
+      for (size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
+                                  const std::vector<size_t>& candidate_indices,
+                                  const BruteForceOptions& options) {
+  const size_t n = candidate_indices.size();
+  size_t total = 0;
+  for (size_t k = 1; k <= std::min(options.max_size, n); ++k) {
+    total += Choose(n, k, options.max_subsets);
+    if (total > options.max_subsets) {
+      return Status::FailedPrecondition(
+          "brute force infeasible: more than " +
+          std::to_string(options.max_subsets) + " subsets over " +
+          std::to_string(n) + " candidates");
+    }
+  }
+
+  Explanation best;
+  best.base_cmi = analysis.BaseCmi();
+  best.final_cmi = best.base_cmi;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  // Enumerate subsets of each size k via the combinations odometer.
+  std::vector<size_t> pick;
+  for (size_t k = 1; k <= std::min(options.max_size, n); ++k) {
+    pick.assign(k, 0);
+    for (size_t i = 0; i < k; ++i) pick[i] = i;
+    for (;;) {
+      std::vector<size_t> subset(k);
+      for (size_t i = 0; i < k; ++i) subset[i] = candidate_indices[pick[i]];
+      if (options.max_identification_fraction > 0.0 &&
+          analysis.IdentificationFraction(subset) >
+              options.max_identification_fraction) {
+        if (!NextCombination(pick, n)) break;
+        continue;
+      }
+      double cmi = analysis.CmiGivenSet(subset);
+      double objective = cmi * static_cast<double>(k);
+      if (objective < best_objective - 1e-12) {
+        best_objective = objective;
+        best.attribute_indices = subset;
+        best.final_cmi = cmi;
+      }
+      if (!NextCombination(pick, n)) break;
+    }
+  }
+
+  best.attribute_names.clear();
+  for (size_t s : best.attribute_indices) {
+    best.attribute_names.push_back(analysis.attributes()[s].name);
+  }
+  return best;
+}
+
+}  // namespace mesa

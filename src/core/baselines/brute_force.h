@@ -1,0 +1,32 @@
+#ifndef MESA_CORE_BASELINES_BRUTE_FORCE_H_
+#define MESA_CORE_BASELINES_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mcimr.h"
+
+namespace mesa {
+
+/// Options for the exhaustive baseline.
+struct BruteForceOptions {
+  size_t max_size = 5;
+  /// Abort if the number of subsets to score would exceed this (the paper
+  /// could only run Brute-Force on the small Covid-19/Forbes datasets).
+  size_t max_subsets = 2'000'000;
+  /// Skip subsets whose joint code identifies the exposure on more than
+  /// this fraction of rows (Lemma A.2's trap in set form; <= 0 disables).
+  double max_identification_fraction = 0.35;
+};
+
+/// The optimal solution of Definition 2.3 by exhaustive search: scores
+/// every non-empty subset of `candidate_indices` up to `max_size` by
+/// I(O;T|E,C) * |E| and returns the argmin (ties broken toward smaller,
+/// then lexicographically earlier sets, for determinism).
+Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
+                                  const std::vector<size_t>& candidate_indices,
+                                  const BruteForceOptions& options = {});
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_BASELINES_BRUTE_FORCE_H_

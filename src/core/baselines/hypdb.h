@@ -1,0 +1,41 @@
+#ifndef MESA_CORE_BASELINES_HYPDB_H_
+#define MESA_CORE_BASELINES_HYPDB_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mcimr.h"
+
+namespace mesa {
+
+/// Options for the HypDB-style baseline.
+struct HypDbOptions {
+  size_t max_size = 5;
+  /// HypDB's subset search is exponential in the candidate count (the
+  /// paper had to cap it at 50 attributes, sampled uniformly, to finish);
+  /// when more candidates are passed in, a uniform sample of this size is
+  /// taken.
+  size_t max_attributes = 50;
+  uint64_t sample_seed = 7;
+  /// Dependence thresholds for the confounder tests (in bits).
+  double dependence_epsilon = 0.01;
+};
+
+/// A reimplementation of the HypDB-style causal baseline (Salimi et al.
+/// 2018) on our estimator stack:
+///   1. keep candidates that pass the confounder criteria — dependence with
+///      the exposure (I(E;T|C) > ε) and with the outcome given the exposure
+///      (I(E;O|C,T) > ε);
+///   2. exhaustively search subsets (size <= k) of the surviving
+///      candidates — the exponential step — for the one minimising the
+///      joint I(O;T|C,E);
+///   3. rank the chosen attributes by individual responsibility.
+/// The exponential step is why HypDB cannot scale to KG-sized candidate
+/// sets (Section 5.1).
+Result<Explanation> RunHypDb(const QueryAnalysis& analysis,
+                             const std::vector<size_t>& candidate_indices,
+                             const HypDbOptions& options = {});
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_BASELINES_HYPDB_H_

@@ -1,0 +1,100 @@
+#include "core/baselines/lr_explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/ols.h"
+
+namespace mesa {
+
+Result<Explanation> RunLrExplainer(
+    const QueryAnalysis& analysis, const std::vector<size_t>& candidate_indices,
+    const LrExplainerOptions& options) {
+  Explanation ex;
+  ex.base_cmi = analysis.BaseCmi();
+  ex.final_cmi = ex.base_cmi;
+  const Table& ctx = analysis.context_table();
+  const size_t n = ctx.num_rows();
+  if (candidate_indices.empty()) return ex;
+
+  // Outcome vector (null outcome rows enter with the mean — OLS needs a
+  // rectangular sample and the baseline should see the same rows MESA does).
+  MESA_ASSIGN_OR_RETURN(const Column* ocol,
+                        ctx.ColumnByName(analysis.query().outcome));
+  std::vector<double> y(n, 0.0);
+  double ymean = 0.0;
+  size_t ycount = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (ocol->IsValid(r)) {
+      ymean += ocol->NumericAt(r);
+      ++ycount;
+    }
+  }
+  if (ycount == 0) return Status::InvalidArgument("outcome entirely null");
+  ymean /= static_cast<double>(ycount);
+  for (size_t r = 0; r < n; ++r) {
+    y[r] = ocol->IsValid(r) ? ocol->NumericAt(r) : ymean;
+  }
+
+  // Standardised feature per candidate: numeric value or dense code, with
+  // nulls at the mean.
+  std::vector<std::vector<double>> x(n,
+                                     std::vector<double>(candidate_indices.size()));
+  for (size_t c = 0; c < candidate_indices.size(); ++c) {
+    const PreparedAttribute& attr =
+        analysis.attributes()[candidate_indices[c]];
+    std::vector<double> raw(n, 0.0);
+    std::vector<uint8_t> ok(n, 0);
+    MESA_ASSIGN_OR_RETURN(const Column* col, ctx.ColumnByName(attr.name));
+    for (size_t r = 0; r < n; ++r) {
+      if (col->IsNull(r)) continue;
+      raw[r] = col->type() == DataType::kString
+                   ? static_cast<double>(attr.coded.codes[r])
+                   : col->NumericAt(r);
+      ok[r] = 1;
+    }
+    double mean = 0.0, cnt = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      if (ok[r]) {
+        mean += raw[r];
+        cnt += 1.0;
+      }
+    }
+    mean = cnt > 0.0 ? mean / cnt : 0.0;
+    double var = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      if (ok[r]) {
+        double d = raw[r] - mean;
+        var += d * d;
+      }
+    }
+    double sd = cnt > 1.0 ? std::sqrt(var / (cnt - 1.0)) : 1.0;
+    if (sd <= 0.0) sd = 1.0;
+    for (size_t r = 0; r < n; ++r) {
+      x[r][c] = ok[r] ? (raw[r] - mean) / sd : 0.0;
+    }
+  }
+
+  MESA_ASSIGN_OR_RETURN(OlsFit fit, FitOls(x, y));
+
+  // Coefficient j+1 belongs to candidate j (0 is the intercept).
+  std::vector<std::pair<double, size_t>> ranked;  // (-|coef|, candidate)
+  for (size_t c = 0; c < candidate_indices.size(); ++c) {
+    if (fit.p_values[c + 1] < options.p_value_threshold) {
+      ranked.emplace_back(-std::fabs(fit.coefficients[c + 1]),
+                          candidate_indices[c]);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end());
+  for (size_t i = 0; i < std::min(options.max_size, ranked.size()); ++i) {
+    ex.attribute_indices.push_back(ranked[i].second);
+    ex.attribute_names.push_back(
+        analysis.attributes()[ranked[i].second].name);
+  }
+  if (!ex.attribute_indices.empty()) {
+    ex.final_cmi = analysis.CmiGivenSet(ex.attribute_indices);
+  }
+  return ex;
+}
+
+}  // namespace mesa

@@ -1,0 +1,30 @@
+#ifndef MESA_CORE_BASELINES_LR_EXPLAINER_H_
+#define MESA_CORE_BASELINES_LR_EXPLAINER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/mcimr.h"
+
+namespace mesa {
+
+/// Options for the linear-regression baseline.
+struct LrExplainerOptions {
+  size_t max_size = 5;
+  double p_value_threshold = 0.05;
+};
+
+/// The LR baseline of Section 5: OLS of the outcome on all candidate
+/// attributes (standardised; categoricals enter as dense codes, nulls as
+/// the column mean), then the top-k attributes by |standardised
+/// coefficient| among those with p < .05. The paper observes it often
+/// fails to produce any explanation — when no coefficient clears the
+/// p-value bar, the returned explanation is empty (matching the "-" cells
+/// of Table 2).
+Result<Explanation> RunLrExplainer(const QueryAnalysis& analysis,
+                                   const std::vector<size_t>& candidate_indices,
+                                   const LrExplainerOptions& options = {});
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_BASELINES_LR_EXPLAINER_H_

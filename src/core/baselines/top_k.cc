@@ -1,0 +1,34 @@
+#include "core/baselines/top_k.h"
+
+#include <algorithm>
+
+namespace mesa {
+
+Explanation RunTopK(const QueryAnalysis& analysis,
+                    const std::vector<size_t>& candidate_indices, size_t k) {
+  Explanation ex;
+  ex.base_cmi = analysis.BaseCmi();
+  ex.final_cmi = ex.base_cmi;
+
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidate_indices.size());
+  for (size_t idx : candidate_indices) {
+    scored.emplace_back(analysis.CmiGivenAttribute(idx), idx);
+  }
+  std::sort(scored.begin(), scored.end());
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    ex.attribute_indices.push_back(scored[i].second);
+    ex.attribute_names.push_back(
+        analysis.attributes()[scored[i].second].name);
+    ex.trace.push_back({scored[i].second,
+                        analysis.attributes()[scored[i].second].name,
+                        scored[i].first, 0.0});
+  }
+  if (!ex.attribute_indices.empty()) {
+    ex.final_cmi = analysis.CmiGivenSet(ex.attribute_indices);
+    ex.trace.back().cmi_after = ex.final_cmi;
+  }
+  return ex;
+}
+
+}  // namespace mesa

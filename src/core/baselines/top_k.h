@@ -1,0 +1,19 @@
+#ifndef MESA_CORE_BASELINES_TOP_K_H_
+#define MESA_CORE_BASELINES_TOP_K_H_
+
+#include <vector>
+
+#include "core/mcimr.h"
+
+namespace mesa {
+
+/// The Top-K baseline of Section 5: ranks candidates by their individual
+/// explanation power alone (ascending I(O;T|C,E)) and takes the best k —
+/// i.e. the Min-CI criterion without the Min-Redundancy term, so highly
+/// correlated attributes (Year Low F / Year Avg F) get picked together.
+Explanation RunTopK(const QueryAnalysis& analysis,
+                    const std::vector<size_t>& candidate_indices, size_t k);
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_BASELINES_TOP_K_H_

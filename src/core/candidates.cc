@@ -1,0 +1,299 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+Result<QueryAnalysis> QueryAnalysis::Prepare(
+    const Table& table, const QuerySpec& query,
+    const std::vector<std::string>& candidates,
+    const std::vector<std::string>& kg_columns, const PrepareOptions& options) {
+  MESA_RETURN_IF_ERROR(query.Validate(table));
+
+  QueryAnalysis qa;
+  qa.query_ = query;
+  qa.options_ = options;
+
+  // Condition on C by restricting to matching rows.
+  MESA_ASSIGN_OR_RETURN(std::vector<size_t> rows,
+                        query.context.MatchingRows(table));
+  if (rows.empty()) {
+    return Status::InvalidArgument("query context matches no rows");
+  }
+  qa.context_table_ = table.TakeRows(rows);
+  qa.n_ = qa.context_table_.num_rows();
+
+  MESA_ASSIGN_OR_RETURN(
+      Discretized o,
+      DiscretizeColumn(qa.context_table_, query.outcome, options.discretizer));
+  qa.outcome_ = CodedVariable{std::move(o.codes), o.cardinality};
+  // The effective exposure is the composite of all grouping attributes;
+  // the components are kept for per-component trap tests.
+  for (const std::string& name : query.AllExposures()) {
+    MESA_ASSIGN_OR_RETURN(
+        Discretized t,
+        DiscretizeColumn(qa.context_table_, name, options.discretizer));
+    qa.exposure_components_.push_back(
+        CodedVariable{std::move(t.codes), t.cardinality});
+  }
+  {
+    std::vector<const CodedVariable*> ptrs;
+    for (const auto& p : qa.exposure_components_) ptrs.push_back(&p);
+    qa.exposure_ = CombineAll(ptrs, qa.n_);
+  }
+
+  std::set<std::string> kg_set(kg_columns.begin(), kg_columns.end());
+
+  // IPW covariates default to the query attributes themselves (always
+  // observed in the base data).
+  IpwOptions ipw = options.ipw;
+  if (ipw.covariates.empty()) {
+    ipw.covariates = {query.exposure, query.outcome};
+  }
+
+  for (const std::string& name : candidates) {
+    if (name == query.outcome || query.IsExposure(name)) continue;
+    MESA_ASSIGN_OR_RETURN(const Column* col,
+                          qa.context_table_.ColumnByName(name));
+    PreparedAttribute attr;
+    attr.name = name;
+    attr.from_kg = kg_set.count(name) > 0;
+    attr.missing_fraction = col->null_fraction();
+    MESA_ASSIGN_OR_RETURN(
+        Discretized d,
+        DiscretizeColumn(qa.context_table_, name, options.discretizer));
+    attr.coded = CodedVariable{std::move(d.codes), d.cardinality};
+
+    if (options.handle_selection_bias && col->null_count() > 0) {
+      SelectionBiasOptions bias = options.bias;
+      bias.outcome_codes = &qa.outcome_;
+      bias.exposure_codes = &qa.exposure_;
+      MESA_ASSIGN_OR_RETURN(
+          SelectionBiasReport report,
+          DetectSelectionBias(qa.context_table_, name, query.outcome,
+                              query.exposure, bias));
+      attr.selection_biased = report.biased;
+      if (report.biased) {
+        MESA_ASSIGN_OR_RETURN(IpwWeights w,
+                              ComputeIpwWeights(qa.context_table_, name, ipw));
+        attr.weights = std::move(w.weights);
+      }
+    }
+    qa.attribute_index_.emplace(attr.name, qa.attributes_.size());
+    qa.attributes_.push_back(std::move(attr));
+  }
+
+  // I(O;T|C): context already applied, so condition on the trivial code.
+  CodedVariable trivial;
+  trivial.codes.assign(qa.n_, 0);
+  trivial.cardinality = 1;
+  qa.base_cmi_ = ConditionalMutualInformation(qa.outcome_, qa.exposure_,
+                                              trivial, nullptr,
+                                              options.entropy);
+  qa.single_cmi_cache_.assign(qa.attributes_.size(),
+                              std::numeric_limits<double>::quiet_NaN());
+  qa.entropy_cache_.assign(qa.attributes_.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  qa.trap_cache_.assign(qa.attributes_.size(), -1);
+  return qa;
+}
+
+int QueryAnalysis::FindAttribute(const std::string& name) const {
+  auto it = attribute_index_.find(name);
+  if (it == attribute_index_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+double QueryAnalysis::CmiGivenAttribute(size_t index) const {
+  MESA_CHECK(index < attributes_.size());
+  double cached = single_cmi_cache_[index];
+  if (!std::isnan(cached)) return cached;
+  const PreparedAttribute& attr = attributes_[index];
+  const std::vector<double>* w =
+      attr.weights.empty() ? nullptr : &attr.weights;
+  double v = ConditionalMutualInformation(outcome_, exposure_, attr.coded, w,
+                                          options_.entropy);
+  ++evaluations_;
+  single_cmi_cache_[index] = v;
+  return v;
+}
+
+std::vector<double> QueryAnalysis::CombinedWeights(
+    const std::vector<size_t>& indices) const {
+  bool any = false;
+  for (size_t i : indices) {
+    if (!attributes_[i].weights.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return {};
+  std::vector<double> w(n_, 1.0);
+  for (size_t i : indices) {
+    const auto& aw = attributes_[i].weights;
+    if (aw.empty()) continue;
+    for (size_t r = 0; r < n_; ++r) w[r] *= aw[r];
+  }
+  return w;
+}
+
+double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
+  if (indices.empty()) return base_cmi_;
+  if (indices.size() == 1) return CmiGivenAttribute(indices[0]);
+  std::vector<size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (size_t i : sorted) {
+    key += std::to_string(i);
+    key += ',';
+  }
+  auto it = set_cmi_cache_.find(key);
+  if (it != set_cmi_cache_.end()) return it->second;
+
+  std::vector<const CodedVariable*> parts;
+  parts.reserve(sorted.size());
+  for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
+  CodedVariable z = CombineAll(parts, n_);
+  std::vector<double> w = CombinedWeights(sorted);
+  double v = ConditionalMutualInformation(
+      outcome_, exposure_, z, w.empty() ? nullptr : &w, options_.entropy);
+  ++evaluations_;
+  set_cmi_cache_.emplace(std::move(key), v);
+  return v;
+}
+
+double QueryAnalysis::AttributeEntropy(size_t i) const {
+  MESA_CHECK(i < attributes_.size());
+  double cached = entropy_cache_[i];
+  if (!std::isnan(cached)) return cached;
+  const PreparedAttribute& attr = attributes_[i];
+  const std::vector<double>* w =
+      attr.weights.empty() ? nullptr : &attr.weights;
+  double h = Entropy(attr.coded, w, options_.entropy);
+  entropy_cache_[i] = h;
+  return h;
+}
+
+double QueryAnalysis::NormalizedRedundancy(size_t a, size_t b) const {
+  double h = std::min(AttributeEntropy(a), AttributeEntropy(b));
+  if (h < 1e-9) return 0.0;
+  return PairwiseMi(a, b) / h;
+}
+
+bool QueryAnalysis::IsExposureTrap(size_t i) const {
+  MESA_CHECK(i < attributes_.size());
+  if (trap_cache_[i] >= 0) return trap_cache_[i] != 0;
+  const PreparedAttribute& attr = attributes_[i];
+  const std::vector<double>* w =
+      attr.weights.empty() ? nullptr : &attr.weights;
+  bool trap = false;
+
+  if (attr.coded.cardinality <= 1) {
+    trap = true;  // constant: useless, flagged here for uniformity
+  }
+
+  // Approximate FD against the outcome, the composite exposure, and every
+  // exposure component (a copy of one grouping attribute must not "explain"
+  // a composite grouping).
+  constexpr double kFdEpsilon = 0.05;
+  constexpr double kFdRatio = 0.15;
+  auto fd_against = [&](const CodedVariable& q) {
+    double h_q = Entropy(q, nullptr, options_.entropy);
+    double h_q_given_e = ConditionalEntropy(q, attr.coded, w,
+                                            options_.entropy);
+    return h_q_given_e < std::max(kFdEpsilon, kFdRatio * h_q);
+  };
+  if (!trap) {
+    trap = fd_against(outcome_) || fd_against(exposure_);
+    for (size_t c = 0; !trap && c < exposure_components_.size(); ++c) {
+      trap = fd_against(exposure_components_[c]);
+    }
+  }
+
+  // Local identification test against the composite exposure.
+  constexpr double kMaxIdentification = 0.20;
+  if (!trap) {
+    trap = IdentificationFraction({i}) > kMaxIdentification;
+  }
+
+  trap_cache_[i] = trap ? 1 : 0;
+  return trap;
+}
+
+double QueryAnalysis::IdentificationFraction(
+    const std::vector<size_t>& indices) const {
+  if (indices.empty()) return 0.0;
+  std::vector<size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (size_t i : sorted) {
+    key += std::to_string(i);
+    key += ',';
+  }
+  auto it = ident_cache_.find(key);
+  if (it != ident_cache_.end()) return it->second;
+
+  std::vector<const CodedVariable*> parts;
+  for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
+  CodedVariable z = CombineAll(parts, n_);
+  // stratum -> (T code or -2 when impure, row count)
+  std::unordered_map<int32_t, std::pair<int32_t, size_t>> strata;
+  size_t observed = 0;
+  for (size_t r = 0; r < n_; ++r) {
+    if (z.codes[r] < 0 || exposure_.codes[r] < 0) continue;
+    ++observed;
+    auto [sit, inserted] = strata.emplace(
+        z.codes[r], std::make_pair(exposure_.codes[r], size_t{1}));
+    if (!inserted) {
+      if (sit->second.first != exposure_.codes[r]) sit->second.first = -2;
+      ++sit->second.second;
+    }
+  }
+  // For a low-cardinality exposure (<= 20 values: continents, airlines,
+  // WHO regions) a *large* pure stratum is legitimate explanation —
+  // "countries with Africa-level GDP are exactly Africa" — so strata
+  // holding >= 5% of the rows are exempt. For high-cardinality exposures
+  // (countries, cities, people) every pure stratum is per-value isolation,
+  // i.e. row keying, and counts.
+  const bool low_card_exposure = exposure_.cardinality <= 20;
+  const double small_stratum = 0.05 * static_cast<double>(observed);
+  size_t identified = 0;
+  for (const auto& [code, st] : strata) {
+    (void)code;
+    if (st.first < 0) continue;
+    if (low_card_exposure &&
+        static_cast<double>(st.second) >= small_stratum) {
+      continue;
+    }
+    identified += st.second;
+  }
+  double frac = observed == 0
+                    ? 1.0
+                    : static_cast<double>(identified) /
+                          static_cast<double>(observed);
+  ident_cache_.emplace(std::move(key), frac);
+  return frac;
+}
+
+double QueryAnalysis::PairwiseMi(size_t a, size_t b) const {
+  MESA_CHECK(a < attributes_.size() && b < attributes_.size());
+  if (a > b) std::swap(a, b);
+  uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  auto it = pair_mi_cache_.find(key);
+  if (it != pair_mi_cache_.end()) return it->second;
+  // Weighted when either side carries IPW weights (Proposition 3.3's
+  // conditions fail exactly when missingness depends on the values).
+  std::vector<double> w = CombinedWeights({a, b});
+  double v = MutualInformation(attributes_[a].coded, attributes_[b].coded,
+                               w.empty() ? nullptr : &w, options_.entropy);
+  ++evaluations_;
+  pair_mi_cache_.emplace(key, v);
+  return v;
+}
+
+}  // namespace mesa

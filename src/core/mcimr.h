@@ -1,0 +1,106 @@
+#ifndef MESA_CORE_MCIMR_H_
+#define MESA_CORE_MCIMR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+#include "info/independence.h"
+
+namespace mesa {
+
+/// Options for the MCIMR algorithm (Algorithm 1).
+struct McimrOptions {
+  /// Upper bound k on the explanation size.
+  size_t max_size = 5;
+  /// Apply the responsibility test (Lemma 4.2) and stop early when the
+  /// next attribute's marginal contribution is ~0. Disable to always emit
+  /// exactly k attributes (ablation).
+  bool responsibility_stopping = true;
+  IndependenceOptions independence;
+  /// Disable the Min-Redundancy term of Eq. 5 (ablation; what remains is
+  /// the Top-K/Min-CI-only selection rule).
+  bool use_redundancy_term = true;
+  /// Normalise the redundancy term by min-entropy (NMIFS-style). With raw
+  /// MI (the paper's literal Eq. 5), two attributes of the same entity —
+  /// e.g. any two country properties — carry large structural MI, which
+  /// systematically blocks multi-attribute explanations on hierarchical
+  /// data; normalisation restores the intended balance. Off = literal
+  /// Eq. 5 (ablation bench compares both).
+  bool normalize_redundancy = true;
+  /// Strength of the normalised redundancy penalty, in units of the base
+  /// CMI: a fully redundant attribute (normalised redundancy 1) is charged
+  /// redundancy_weight * I(O;T|C).
+  double redundancy_weight = 1.5;
+  /// The paper's Key Assumption (§2.2): the optimal explanation contains
+  /// no attribute that is individually unimportant. Candidates whose
+  /// single-attribute CMI fails to undercut the base CMI by at least this
+  /// fraction are never selected (they cannot contribute except through
+  /// XOR-style interactions, which the problem statement excludes).
+  double individual_relevance_margin = 0.03;
+  /// "Stop when no further improvement is found": an attribute whose joint
+  /// CMI reduction falls below max(min_improvement,
+  /// min_relative_improvement * I(O;T|C)) is rejected and the algorithm
+  /// stops.
+  double min_improvement = 1e-3;
+  double min_relative_improvement = 0.10;
+  /// Stop once the remaining CMI drops below this — the correlation is
+  /// fully explained.
+  double cmi_floor = 5e-3;
+  /// Reject an attribute whose addition makes the joint conditioning set
+  /// identify the exposure on more than this fraction of rows (the set
+  /// form of the Lemma A.2 guard; <= 0 disables). The rejected candidate
+  /// is skipped and selection continues with the next best.
+  double max_identification_fraction = 0.35;
+  /// Never select attributes flagged by QueryAnalysis::IsExposureTrap
+  /// (Lemma A.2 near-identifiers). This duplicates the online-pruning test
+  /// *inside* the algorithm, which is what keeps MCIMR-without-pruning
+  /// (MESA-) as sound as MESA — the paper's "pruning has little effect on
+  /// explanation quality" claim. Disable only for ablation.
+  bool exclude_exposure_traps = true;
+};
+
+/// One greedy selection step, for tracing/benchmarks.
+struct ExplanationStep {
+  size_t attribute_index = 0;
+  std::string attribute_name;
+  double selection_score = 0.0;  ///< v1 + v2/|E| minimised in NextBestAtt.
+  double cmi_after = 0.0;        ///< I(O;T|C,E) after adding the attribute.
+};
+
+/// An explanation: the selected attribute set plus scores.
+struct Explanation {
+  std::vector<size_t> attribute_indices;    ///< into analysis.attributes().
+  std::vector<std::string> attribute_names;
+  double base_cmi = 0.0;   ///< I(O;T|C).
+  double final_cmi = 0.0;  ///< I(O;T|C,E) — the explainability score (§5.1).
+  std::vector<ExplanationStep> trace;
+  bool stopped_by_responsibility = false;
+
+  /// The objective of Definition 2.3: I(O;T|E,C) * |E|.
+  double Objective() const {
+    return final_cmi * static_cast<double>(attribute_indices.size());
+  }
+  /// Pretty "{HDI, Gini}" rendering.
+  std::string ToString() const;
+};
+
+/// Runs MCIMR over the candidates listed in `candidate_indices` (typically
+/// the survivors of pruning; pass all indices for the MESA- variant).
+/// PTIME: O(k * |A|) estimator calls (Proposition 4.3).
+Explanation RunMcimr(const QueryAnalysis& analysis,
+                     const std::vector<size_t>& candidate_indices,
+                     const McimrOptions& options = {});
+
+/// The NextBestAtt procedure of Algorithm 1: returns the index (into
+/// analysis.attributes()) minimising Eq. 5 among `candidates` not already
+/// in `selected`, or -1 when none remain. `score_out` receives the
+/// minimised score. Only the redundancy-related options are consulted.
+int NextBestAttribute(const QueryAnalysis& analysis,
+                      const std::vector<size_t>& candidates,
+                      const std::vector<size_t>& selected,
+                      const McimrOptions& options, double* score_out);
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_MCIMR_H_

@@ -1,0 +1,136 @@
+#ifndef MESA_CORE_MESA_H_
+#define MESA_CORE_MESA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidates.h"
+#include "core/mcimr.h"
+#include "core/pruning.h"
+#include "core/responsibility.h"
+#include "core/subgroups.h"
+#include "kg/extractor.h"
+#include "query/sql_parser.h"
+
+namespace mesa {
+
+/// End-to-end configuration of the MESA system.
+struct MesaOptions {
+  ExtractionOptions extraction;
+  bool enable_offline_pruning = true;
+  OfflinePruneOptions offline_prune;
+  bool enable_online_pruning = true;
+  OnlinePruneOptions online_prune;
+  PrepareOptions prepare;
+  McimrOptions mcimr;
+};
+
+/// Everything MESA produces for one query.
+struct MesaReport {
+  QuerySpec query;
+  Explanation explanation;
+  std::vector<AttributeResponsibility> responsibilities;
+  /// Candidate funnel: extracted+input -> offline pruning -> online pruning.
+  size_t candidates_total = 0;
+  size_t candidates_after_offline = 0;
+  size_t candidates_after_online = 0;
+  std::vector<PrunedAttribute> pruned_online;
+  double base_cmi = 0.0;
+  double final_cmi = 0.0;
+
+  /// "I(O;T|C) = x; explanation {A, B} brings it to y" rendering.
+  std::string Summary() const;
+};
+
+/// The MESA system (Sections 3–4): owns the input dataset, mines candidate
+/// confounders from the knowledge source on demand, prunes, runs MCIMR, and
+/// reports explanations with responsibilities. One Mesa instance serves
+/// many queries over the same dataset; extraction and offline pruning
+/// happen once and are cached.
+class Mesa {
+ public:
+  /// `kg` may be null (explanations then come from the input table only —
+  /// the HypDB regime). `extraction_columns` are the entity-bearing columns
+  /// mined from the KG (Table 1's "Columns used for extraction").
+  Mesa(Table base_table, const TripleStore* kg,
+       std::vector<std::string> extraction_columns, MesaOptions options = {});
+
+  /// Runs extraction + offline pruning now (otherwise they run lazily on
+  /// the first query).
+  Status Preprocess();
+
+  /// Explains the unexpected correlation in `query`.
+  Result<MesaReport> Explain(const QuerySpec& query);
+
+  /// Convenience: parse the SQL text, then Explain.
+  Result<MesaReport> ExplainSql(const std::string& sql);
+
+  /// Prepared analysis + the candidate indices surviving online pruning —
+  /// the shared substrate for baselines and benchmarks. The analysis is
+  /// freshly built per call (it holds per-query state).
+  struct PreparedQuery {
+    std::shared_ptr<QueryAnalysis> analysis;
+    std::vector<size_t> candidate_indices;
+    std::vector<PrunedAttribute> pruned_online;
+  };
+  Result<PreparedQuery> PrepareQuery(const QuerySpec& query);
+
+  /// Identifies the largest unexplained data subgroups for a previously
+  /// computed explanation (Section 4.3). `refinement_attributes` defaults
+  /// to every categorical column of the base table when empty.
+  Result<std::vector<UnexplainedSubgroup>> FindSubgroups(
+      const QuerySpec& query, const std::vector<std::string>& explanation,
+      SubgroupOptions options);
+
+  /// Relevance of one entity-valued KG link (the paper's §7 future-work
+  /// item: "identify which links in a KG are relevant to the explanation
+  /// and worthy to follow").
+  struct LinkRelevance {
+    std::string link;            ///< entity-valued predicate, e.g. "leader".
+    std::string best_attribute;  ///< strongest attribute reached through it.
+    /// I(O;T|C,E) of that attribute — lower = the link leads to better
+    /// explanations. Links whose attributes were all pruned rank last.
+    double best_cmi = 0.0;
+    size_t attributes = 0;       ///< attributes contributed by the link.
+  };
+
+  /// Ranks the 2-hop links of the knowledge source by how much their
+  /// extracted attributes individually explain the query (ascending
+  /// best_cmi). Requires extraction with hops >= 2 — with 1 hop there are
+  /// no followed links and the result is empty.
+  Result<std::vector<LinkRelevance>> RankLinks(const QuerySpec& query);
+
+  /// The base table augmented with every extracted attribute (triggers
+  /// preprocessing if needed).
+  Result<const Table*> augmented_table();
+
+  /// Names of attribute columns attached from the KG.
+  const std::vector<std::string>& kg_columns() const { return kg_columns_; }
+
+  /// Extraction bookkeeping (valid after preprocessing).
+  const ExtractionStats& extraction_stats() const { return extraction_stats_; }
+
+  /// Offline pruning decisions (valid after preprocessing).
+  const PruneResult& offline_prune_result() const { return offline_result_; }
+
+  const MesaOptions& options() const { return options_; }
+
+ private:
+  Table base_table_;
+  const TripleStore* kg_;
+  std::vector<std::string> extraction_columns_;
+  MesaOptions options_;
+
+  bool preprocessed_ = false;
+  Table augmented_;
+  std::vector<std::string> kg_columns_;
+  ExtractionStats extraction_stats_;
+  PruneResult offline_result_;
+  std::vector<std::string> candidate_pool_;  ///< offline survivors.
+};
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_MESA_H_

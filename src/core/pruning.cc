@@ -1,0 +1,118 @@
+#include "core/pruning.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "info/entropy.h"
+
+namespace mesa {
+
+const char* PruneReasonName(PruneReason reason) {
+  switch (reason) {
+    case PruneReason::kConstant:
+      return "constant";
+    case PruneReason::kTooManyMissing:
+      return "too_many_missing";
+    case PruneReason::kHighEntropy:
+      return "high_entropy";
+    case PruneReason::kLogicalDependency:
+      return "logical_dependency";
+    case PruneReason::kLowRelevance:
+      return "low_relevance";
+  }
+  return "?";
+}
+
+Result<PruneResult> OfflinePrune(const Table& table,
+                                 const std::vector<std::string>& attributes,
+                                 const OfflinePruneOptions& options) {
+  PruneResult result;
+  for (const std::string& name : attributes) {
+    MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+    const size_t n = col->size();
+    const size_t present = n - col->null_count();
+
+    if (col->null_fraction() > options.max_missing_fraction) {
+      result.pruned.push_back({name, PruneReason::kTooManyMissing});
+      continue;
+    }
+
+    // Count distinct non-null values (hash of Value).
+    std::unordered_set<Value, ValueHash> distinct;
+    for (size_t r = 0; r < n; ++r) {
+      if (col->IsValid(r)) distinct.insert(col->GetValue(r));
+    }
+    if (distinct.size() <= 1) {
+      result.pruned.push_back({name, PruneReason::kConstant});
+      continue;
+    }
+    // High-entropy filter: near-unique *identifier-like* attributes
+    // (wikiID, keys, URLs) — string or native-integer columns. Continuous
+    // measurements (double) are naturally unique per entity and exempt;
+    // they get binned downstream.
+    bool identifier_like = col->type() != DataType::kDouble;
+    if (identifier_like &&
+        distinct.size() >= options.high_entropy_min_distinct && present > 0 &&
+        static_cast<double>(distinct.size()) >
+            options.max_distinct_fraction * static_cast<double>(present)) {
+      result.pruned.push_back({name, PruneReason::kHighEntropy});
+      continue;
+    }
+    result.kept.push_back(name);
+  }
+  return result;
+}
+
+OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
+                              const OnlinePruneOptions& options) {
+  OnlinePruneResult result;
+  const CodedVariable& o = analysis.outcome();
+  const CodedVariable& t = analysis.exposure();
+  const EntropyOptions& eopts = analysis.options().entropy;
+  const size_t n_rows = analysis.num_rows();
+
+  for (size_t i = 0; i < analysis.attributes().size(); ++i) {
+    const PreparedAttribute& attr = analysis.attributes()[i];
+    const CodedVariable& e = attr.coded;
+    if (e.cardinality <= 1) {
+      result.pruned.push_back({attr.name, PruneReason::kConstant});
+      continue;
+    }
+    const std::vector<double>* w =
+        attr.weights.empty() ? nullptr : &attr.weights;
+
+    // Logical dependency / identification with the exposure or outcome —
+    // Lemma A.2 and its local form, shared with NextBestAtt through
+    // QueryAnalysis (see IsExposureTrap).
+    if (analysis.IsExposureTrap(i)) {
+      result.pruned.push_back({attr.name, PruneReason::kLogicalDependency});
+      continue;
+    }
+
+    // Low relevance (appendix Relevance Test): (O ⟂ E | C) and
+    // (O ⟂ E | C, T) imply E cannot change I(O;T|C). The thresholds are
+    // bias-adjusted: the plug-in (C)MI of independent variables is biased
+    // upward by ~ K_z (K_x - 1)(K_y - 1) / (2 N ln 2), so an attribute only
+    // counts as relevant when it clears chance level.
+    CodedVariable trivial;
+    trivial.codes.assign(e.codes.size(), 0);
+    trivial.cardinality = 1;
+    const double ln2 = 0.6931471805599453;
+    double cells = static_cast<double>(e.cardinality - 1) *
+                   static_cast<double>(o.cardinality - 1);
+    double bias_marginal = cells / (2.0 * static_cast<double>(n_rows) * ln2);
+    double bias_cond = bias_marginal * static_cast<double>(t.cardinality);
+    double mi_oe = ConditionalMutualInformation(o, e, trivial, w, eopts);
+    double cmi_oe_t = ConditionalMutualInformation(o, e, t, w, eopts);
+    if (mi_oe < options.relevance_epsilon + bias_marginal &&
+        cmi_oe_t < options.relevance_epsilon + bias_cond) {
+      result.pruned.push_back({attr.name, PruneReason::kLowRelevance});
+      continue;
+    }
+
+    result.kept_indices.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace mesa

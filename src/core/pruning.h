@@ -1,0 +1,77 @@
+#ifndef MESA_CORE_PRUNING_H_
+#define MESA_CORE_PRUNING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidates.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Options for the across-queries (offline) pruning of Section 4.2.
+struct OfflinePruneOptions {
+  /// Drop attributes whose missing fraction exceeds this (paper: 0.9).
+  double max_missing_fraction = 0.9;
+  /// High-entropy filter: drop attributes whose number of distinct values
+  /// exceeds this fraction of the (non-null) rows — wikiID-style keys.
+  double max_distinct_fraction = 0.9;
+  /// Also require at least this many distinct values for the high-entropy
+  /// rule to apply (tiny tables would otherwise trip it).
+  size_t high_entropy_min_distinct = 16;
+};
+
+/// Why an attribute was pruned.
+enum class PruneReason {
+  kConstant,
+  kTooManyMissing,
+  kHighEntropy,
+  kLogicalDependency,
+  kLowRelevance,
+};
+
+const char* PruneReasonName(PruneReason reason);
+
+/// One pruning decision, for reporting.
+struct PrunedAttribute {
+  std::string name;
+  PruneReason reason;
+};
+
+/// Result of a pruning pass.
+struct PruneResult {
+  std::vector<std::string> kept;
+  std::vector<PrunedAttribute> pruned;
+};
+
+/// Offline (pre-processing) pruning: Simple Filtering (constant value,
+/// > max missing) and the High Entropy filter. Runs on the raw table before
+/// any query is known.
+Result<PruneResult> OfflinePrune(const Table& table,
+                                 const std::vector<std::string>& attributes,
+                                 const OfflinePruneOptions& options = {});
+
+/// Options for the query-specific (online) pruning of Section 4.2.
+struct OnlinePruneOptions {
+  /// Low-relevance test: drop E when I(O;E|C) and I(O;E|C,T) are both
+  /// below this plus the estimator's chance level (the appendix's
+  /// Relevance Test). The logical-dependency / identification tests are
+  /// shared with the selection loop and live in
+  /// QueryAnalysis::IsExposureTrap.
+  double relevance_epsilon = 0.01;
+};
+
+/// Online pruning over a prepared analysis: logical-dependency and
+/// low-relevance tests against the query's O and T. Returns indices into
+/// `analysis.attributes()` that survive, plus the pruned names.
+struct OnlinePruneResult {
+  std::vector<size_t> kept_indices;
+  std::vector<PrunedAttribute> pruned;
+};
+OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
+                              const OnlinePruneOptions& options = {});
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_PRUNING_H_

@@ -1,0 +1,100 @@
+#include "core/report_format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mesa {
+
+namespace {
+
+std::string Bar(double fraction, size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  size_t filled = static_cast<size_t>(std::lround(fraction * width));
+  return std::string(filled, '#') + std::string(width - filled, ' ');
+}
+
+}  // namespace
+
+std::string FormatReport(const MesaReport& report,
+                         const ReportFormatOptions& options) {
+  std::ostringstream out;
+  char line[256];
+
+  out << report.query.ToSql() << "\n";
+  std::snprintf(line, sizeof(line), "correlation  I(O;T|C)   = %.3f bits\n",
+                report.base_cmi);
+  out << line;
+  double explained_pct =
+      report.base_cmi > 0
+          ? 100.0 * (1.0 - report.final_cmi / report.base_cmi)
+          : 0.0;
+  std::snprintf(line, sizeof(line),
+                "explained    I(O;T|E,C) = %.3f bits   (%.0f%% explained "
+                "away)\n",
+                report.final_cmi, explained_pct);
+  out << line;
+  out << "explanation  "
+      << (report.explanation.attribute_names.empty()
+              ? "(none found)"
+              : report.explanation.ToString())
+      << "\n";
+
+  // Responsibility bars, aligned on the longest attribute name.
+  size_t name_width = 0;
+  for (const auto& r : report.responsibilities) {
+    name_width = std::max(name_width, r.name.size());
+  }
+  for (const auto& r : report.responsibilities) {
+    std::string padded = r.name + std::string(name_width - r.name.size(), ' ');
+    if (r.responsibility >= 0.0) {
+      std::snprintf(line, sizeof(line), "  %s  %s  %.2f\n", padded.c_str(),
+                    Bar(r.responsibility, options.bar_width).c_str(),
+                    r.responsibility);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %s  %s  %.2f (harms the explanation)\n",
+                    padded.c_str(),
+                    std::string(options.bar_width, '-').c_str(),
+                    r.responsibility);
+    }
+    out << line;
+  }
+
+  if (options.show_funnel) {
+    std::snprintf(line, sizeof(line),
+                  "candidates   %zu -> %zu after offline -> %zu after "
+                  "online pruning\n",
+                  report.candidates_total, report.candidates_after_offline,
+                  report.candidates_after_online);
+    out << line;
+  }
+  if (options.show_trace) {
+    for (const auto& step : report.explanation.trace) {
+      std::snprintf(line, sizeof(line),
+                    "  step  +%-20s score=%.3f  I(O;T|E)=%.3f\n",
+                    step.attribute_name.c_str(), step.selection_score,
+                    step.cmi_after);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string FormatSubgroups(const std::vector<UnexplainedSubgroup>& groups) {
+  std::ostringstream out;
+  out << "unexplained data groups (largest first):\n";
+  char line[256];
+  size_t rank = 1;
+  for (const auto& g : groups) {
+    std::snprintf(line, sizeof(line), "  %2zu. size=%-7zu score=%.3f  %s\n",
+                  rank++, g.size, g.score,
+                  g.refinement.ToString().c_str());
+    out << line;
+  }
+  if (groups.empty()) out << "  (none above the threshold)\n";
+  return out.str();
+}
+
+}  // namespace mesa

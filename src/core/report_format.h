@@ -1,0 +1,39 @@
+#ifndef MESA_CORE_REPORT_FORMAT_H_
+#define MESA_CORE_REPORT_FORMAT_H_
+
+#include <string>
+
+#include "core/mesa.h"
+
+namespace mesa {
+
+/// Options for the plain-text report renderer.
+struct ReportFormatOptions {
+  /// Width of the responsibility bar, in characters.
+  size_t bar_width = 28;
+  /// Include the candidate-funnel line (total -> offline -> online).
+  bool show_funnel = true;
+  /// Include the per-step selection trace.
+  bool show_trace = false;
+};
+
+/// Renders a MesaReport as a human-readable block, e.g.:
+///
+///   SELECT Country, avg(Salary) FROM SO GROUP BY Country
+///   correlation  I(O;T|C)   = 1.157 bits
+///   explained    I(O;T|E,C) = 0.104 bits   (91% explained away)
+///   explanation  {gdp, gini}
+///     gdp   ############################   0.62
+///     gini  ################               0.38
+///
+/// The bars make the Definition 2.5 responsibilities readable at a glance;
+/// negative responsibilities render with a '-' marker instead of a bar.
+std::string FormatReport(const MesaReport& report,
+                         const ReportFormatOptions& options = {});
+
+/// Renders the top-k unexplained subgroups (Table 4 style).
+std::string FormatSubgroups(const std::vector<UnexplainedSubgroup>& groups);
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_REPORT_FORMAT_H_

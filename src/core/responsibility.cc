@@ -1,0 +1,46 @@
+#include "core/responsibility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesa {
+
+std::vector<AttributeResponsibility> ComputeResponsibilities(
+    const QueryAnalysis& analysis, const std::vector<size_t>& explanation) {
+  std::vector<AttributeResponsibility> out;
+  if (explanation.empty()) return out;
+
+  double full_cmi = analysis.CmiGivenSet(explanation);
+  double denominator = 0.0;
+  for (size_t i = 0; i < explanation.size(); ++i) {
+    std::vector<size_t> without;
+    for (size_t j = 0; j < explanation.size(); ++j) {
+      if (j != i) without.push_back(explanation[j]);
+    }
+    double cmi_without = analysis.CmiGivenSet(without);
+    AttributeResponsibility r;
+    r.attribute_index = explanation[i];
+    r.name = analysis.attributes()[explanation[i]].name;
+    r.marginal_contribution = cmi_without - full_cmi;
+    out.push_back(std::move(r));
+    denominator += out.back().marginal_contribution;
+  }
+
+  if (explanation.size() == 1) {
+    out[0].responsibility = 1.0;
+  } else if (std::fabs(denominator) < 1e-12) {
+    for (auto& r : out) r.responsibility = 0.0;
+  } else {
+    for (auto& r : out) {
+      r.responsibility = r.marginal_contribution / denominator;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const AttributeResponsibility& a,
+                      const AttributeResponsibility& b) {
+                     return a.responsibility > b.responsibility;
+                   });
+  return out;
+}
+
+}  // namespace mesa

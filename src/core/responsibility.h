@@ -1,0 +1,32 @@
+#ifndef MESA_CORE_RESPONSIBILITY_H_
+#define MESA_CORE_RESPONSIBILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/candidates.h"
+
+namespace mesa {
+
+/// The degree of responsibility of one attribute within an explanation
+/// (Definition 2.5).
+struct AttributeResponsibility {
+  size_t attribute_index = 0;
+  std::string name;
+  /// I(O;T|E\{Ei},C) - I(O;T|E,C): the attribute's marginal contribution.
+  double marginal_contribution = 0.0;
+  /// Normalised share; negative when the attribute harms the explanation
+  /// (negative interaction information — the paper's Hobby example).
+  double responsibility = 0.0;
+};
+
+/// Computes the responsibility of every attribute of an explanation set,
+/// sorted by descending responsibility. When the set has a single member
+/// its responsibility is 1 by convention. A zero denominator (every
+/// attribute contributes nothing) yields all-zero responsibilities.
+std::vector<AttributeResponsibility> ComputeResponsibilities(
+    const QueryAnalysis& analysis, const std::vector<size_t>& explanation);
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_RESPONSIBILITY_H_

@@ -1,0 +1,56 @@
+#ifndef MESA_CORE_SUBGROUPS_H_
+#define MESA_CORE_SUBGROUPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "info/entropy.h"
+#include "query/query_spec.h"
+#include "stats/discretizer.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Options for the Top-k unexplained-subgroups search (Algorithm 2).
+struct SubgroupOptions {
+  size_t top_k = 5;
+  /// τ: a refinement whose explanation score I(O;T|C',E) exceeds this is
+  /// unexplained. The paper suggests setting it relative to the original
+  /// explanation score.
+  double threshold = 0.2;
+  /// Attributes whose value assignments form the refinement atoms. Only
+  /// attributes with at most `max_values_per_attribute` distinct values
+  /// participate (the paper assumes binned/categorical refinements).
+  std::vector<std::string> refinement_attributes;
+  size_t max_values_per_attribute = 40;
+  /// Maximum number of conditions added on top of the query context.
+  size_t max_depth = 2;
+  /// Refinements smaller than this are ignored (CMI estimates on a handful
+  /// of rows are meaningless).
+  size_t min_group_size = 30;
+  DiscretizerOptions discretizer;
+  EntropyOptions entropy;
+};
+
+/// One unexplained data group.
+struct UnexplainedSubgroup {
+  Conjunction refinement;  ///< C' (includes the original context C).
+  size_t size = 0;         ///< rows in the group.
+  double score = 0.0;      ///< I(O;T|C',E) — explanation score.
+};
+
+/// Finds the top-k largest context refinements of the query for which the
+/// given explanation is unsatisfactory (explanation score > τ), traversing
+/// the refinement pattern graph top-down with a size-ordered max-heap and
+/// reporting a group only when none of its ancestors already qualified
+/// (Algorithm 2). `explanation` names columns of `table` (typically the
+/// attributes MESA selected, already joined onto the table).
+Result<std::vector<UnexplainedSubgroup>> FindUnexplainedSubgroups(
+    const Table& table, const QuerySpec& query,
+    const std::vector<std::string>& explanation,
+    const SubgroupOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_CORE_SUBGROUPS_H_

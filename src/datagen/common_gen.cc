@@ -1,0 +1,493 @@
+#include "datagen/common_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+namespace {
+
+struct CountrySeed {
+  const char* name;
+  const char* alias;  // nullptr = none
+  const char* continent;
+  const char* currency;
+};
+
+// ~60 countries. Aliases exercise the NED linker the way DBpedia does
+// ("Russian Federation" in the table vs "Russia" in the KG).
+constexpr CountrySeed kCountrySeeds[] = {
+    // Europe (19)
+    {"Germany", nullptr, "Europe", "Euro"},
+    {"France", nullptr, "Europe", "Euro"},
+    {"United Kingdom", "UK", "Europe", "Pound"},
+    {"Spain", nullptr, "Europe", "Euro"},
+    {"Italy", nullptr, "Europe", "Euro"},
+    {"Poland", nullptr, "Europe", "Zloty"},
+    {"Netherlands", "Holland", "Europe", "Euro"},
+    {"Sweden", nullptr, "Europe", "Krona"},
+    {"Norway", nullptr, "Europe", "Krone"},
+    {"Denmark", nullptr, "Europe", "Krone"},
+    {"Finland", nullptr, "Europe", "Euro"},
+    {"Switzerland", nullptr, "Europe", "Franc"},
+    {"Austria", nullptr, "Europe", "Euro"},
+    {"Belgium", nullptr, "Europe", "Euro"},
+    {"Portugal", nullptr, "Europe", "Euro"},
+    {"Greece", nullptr, "Europe", "Euro"},
+    {"Czechia", "Czech Republic", "Europe", "Koruna"},
+    {"Ireland", nullptr, "Europe", "Euro"},
+    {"Russia", "Russian Federation", "Europe", "Ruble"},
+    {"Romania", nullptr, "Europe", "Leu"},
+    {"Hungary", nullptr, "Europe", "Forint"},
+    {"Bulgaria", nullptr, "Europe", "Lev"},
+    {"Croatia", nullptr, "Europe", "Euro"},
+    {"Slovakia", nullptr, "Europe", "Euro"},
+    {"Slovenia", nullptr, "Europe", "Euro"},
+    {"Lithuania", nullptr, "Europe", "Euro"},
+    {"Latvia", nullptr, "Europe", "Euro"},
+    {"Estonia", nullptr, "Europe", "Euro"},
+    {"Serbia", nullptr, "Europe", "Dinar"},
+    {"Ukraine", nullptr, "Europe", "Hryvnia"},
+    {"Iceland", nullptr, "Europe", "Krona"},
+    {"Luxembourg", nullptr, "Europe", "Euro"},
+    {"Albania", nullptr, "Europe", "Lek"},
+    {"Bosnia", nullptr, "Europe", "Mark"},
+    {"North Macedonia", nullptr, "Europe", "Denar"},
+    {"Moldova", nullptr, "Europe", "Leu"},
+    {"Montenegro", nullptr, "Europe", "Euro"},
+    {"Cyprus", nullptr, "Europe", "Euro"},
+    {"Malta", nullptr, "Europe", "Euro"},
+    // Asia (14)
+    {"China", nullptr, "Asia", "Yuan"},
+    {"India", nullptr, "Asia", "Rupee"},
+    {"Japan", nullptr, "Asia", "Yen"},
+    {"South Korea", "Korea", "Asia", "Won"},
+    {"Indonesia", nullptr, "Asia", "Rupiah"},
+    {"Vietnam", "Viet Nam", "Asia", "Dong"},
+    {"Thailand", nullptr, "Asia", "Baht"},
+    {"Philippines", nullptr, "Asia", "Peso"},
+    {"Malaysia", nullptr, "Asia", "Ringgit"},
+    {"Pakistan", nullptr, "Asia", "Rupee"},
+    {"Bangladesh", nullptr, "Asia", "Taka"},
+    {"Israel", nullptr, "Asia", "Shekel"},
+    {"Turkey", nullptr, "Asia", "Lira"},
+    {"Saudi Arabia", nullptr, "Asia", "Riyal"},
+    {"Singapore", nullptr, "Asia", "Dollar"},
+    {"Taiwan", nullptr, "Asia", "Dollar"},
+    {"Sri Lanka", nullptr, "Asia", "Rupee"},
+    {"Nepal", nullptr, "Asia", "Rupee"},
+    {"Kazakhstan", nullptr, "Asia", "Tenge"},
+    {"Jordan", nullptr, "Asia", "Dinar"},
+    {"Lebanon", nullptr, "Asia", "Pound"},
+    {"Qatar", nullptr, "Asia", "Riyal"},
+    {"United Arab Emirates", "UAE", "Asia", "Dirham"},
+    {"Mongolia", nullptr, "Asia", "Tugrik"},
+    {"Myanmar", "Burma", "Asia", "Kyat"},
+    {"Cambodia", nullptr, "Asia", "Riel"},
+    {"Laos", nullptr, "Asia", "Kip"},
+    {"Uzbekistan", nullptr, "Asia", "Som"},
+    {"Azerbaijan", nullptr, "Asia", "Manat"},
+    {"Georgia", nullptr, "Asia", "Lari"},
+    {"Armenia", nullptr, "Asia", "Dram"},
+    {"Kuwait", nullptr, "Asia", "Dinar"},
+    {"Oman", nullptr, "Asia", "Rial"},
+    {"Bahrain", nullptr, "Asia", "Dinar"},
+    // North America (6)
+    {"United States", "USA", "North America", "Dollar"},
+    {"Canada", nullptr, "North America", "Dollar"},
+    {"Mexico", nullptr, "North America", "Peso"},
+    {"Cuba", nullptr, "North America", "Peso"},
+    {"Guatemala", nullptr, "North America", "Quetzal"},
+    {"Panama", nullptr, "North America", "Balboa"},
+    {"Costa Rica", nullptr, "North America", "Colon"},
+    {"Honduras", nullptr, "North America", "Lempira"},
+    {"Jamaica", nullptr, "North America", "Dollar"},
+    {"Dominican Republic", nullptr, "North America", "Peso"},
+    {"Nicaragua", nullptr, "North America", "Cordoba"},
+    {"El Salvador", nullptr, "North America", "Dollar"},
+    {"Haiti", nullptr, "North America", "Gourde"},
+    {"Trinidad", nullptr, "North America", "Dollar"},
+    // South America (7)
+    {"Brazil", nullptr, "South America", "Real"},
+    {"Argentina", nullptr, "South America", "Peso"},
+    {"Chile", nullptr, "South America", "Peso"},
+    {"Colombia", nullptr, "South America", "Peso"},
+    {"Peru", nullptr, "South America", "Sol"},
+    {"Uruguay", nullptr, "South America", "Peso"},
+    {"Ecuador", nullptr, "South America", "Dollar"},
+    {"Bolivia", nullptr, "South America", "Boliviano"},
+    {"Paraguay", nullptr, "South America", "Guarani"},
+    {"Venezuela", nullptr, "South America", "Bolivar"},
+    {"Guyana", nullptr, "South America", "Dollar"},
+    {"Suriname", nullptr, "South America", "Dollar"},
+    // Africa (12)
+    {"Nigeria", nullptr, "Africa", "Naira"},
+    {"Egypt", nullptr, "Africa", "Pound"},
+    {"South Africa", nullptr, "Africa", "Rand"},
+    {"Kenya", nullptr, "Africa", "Shilling"},
+    {"Ethiopia", nullptr, "Africa", "Birr"},
+    {"Ghana", nullptr, "Africa", "Cedi"},
+    {"Morocco", nullptr, "Africa", "Dirham"},
+    {"Algeria", nullptr, "Africa", "Dinar"},
+    {"Tunisia", nullptr, "Africa", "Dinar"},
+    {"Tanzania", nullptr, "Africa", "Shilling"},
+    {"Uganda", nullptr, "Africa", "Shilling"},
+    {"Senegal", nullptr, "Africa", "Franc"},
+    {"Ivory Coast", "Cote d'Ivoire", "Africa", "Franc"},
+    {"Cameroon", nullptr, "Africa", "Franc"},
+    {"Zambia", nullptr, "Africa", "Kwacha"},
+    {"Zimbabwe", nullptr, "Africa", "Dollar"},
+    {"Botswana", nullptr, "Africa", "Pula"},
+    {"Namibia", nullptr, "Africa", "Dollar"},
+    {"Rwanda", nullptr, "Africa", "Franc"},
+    {"Mozambique", nullptr, "Africa", "Metical"},
+    {"Mali", nullptr, "Africa", "Franc"},
+    {"Niger", nullptr, "Africa", "Franc"},
+    {"Chad", nullptr, "Africa", "Franc"},
+    {"Sudan", nullptr, "Africa", "Pound"},
+    {"Angola", nullptr, "Africa", "Kwanza"},
+    {"Benin", nullptr, "Africa", "Franc"},
+    {"Togo", nullptr, "Africa", "Franc"},
+    {"Gabon", nullptr, "Africa", "Franc"},
+    {"Madagascar", nullptr, "Africa", "Ariary"},
+    {"Malawi", nullptr, "Africa", "Kwacha"},
+    // Oceania (3)
+    {"Australia", nullptr, "Oceania", "Dollar"},
+    {"New Zealand", nullptr, "Oceania", "Dollar"},
+    {"Fiji", nullptr, "Oceania", "Dollar"},
+    {"Papua New Guinea", nullptr, "Oceania", "Kina"},
+    {"Samoa", nullptr, "Oceania", "Tala"},
+};
+
+double ContinentSuccessMean(const std::string& continent) {
+  if (continent == "Europe") return 0.85;
+  if (continent == "North America") return 0.74;
+  if (continent == "Oceania") return 0.82;
+  if (continent == "Asia") return 0.55;
+  if (continent == "South America") return 0.52;
+  return 0.35;  // Africa
+}
+
+double ContinentSuccessSpread(const std::string& continent) {
+  // Europe is deliberately tight: HDI ends up near-constant there, which
+  // is what makes the Europe subgroup unexplained by {HDI, ...}.
+  if (continent == "Europe") return 0.015;
+  if (continent == "Oceania") return 0.04;
+  return 0.12;
+}
+
+const char* WhoRegionOf(const std::string& continent) {
+  if (continent == "Europe") return "Europe";
+  if (continent == "Africa") return "Africa";
+  if (continent == "Asia") return "South-East Asia";
+  if (continent == "Oceania") return "Western Pacific";
+  return "Americas";  // both Americas
+}
+
+}  // namespace
+
+std::vector<CountryModel> BuildCountryWorld(Rng* rng) {
+  std::vector<CountryModel> out;
+  out.reserve(std::size(kCountrySeeds));
+  for (const CountrySeed& seed : kCountrySeeds) {
+    CountryModel c;
+    c.name = seed.name;
+    c.alias = seed.alias != nullptr ? seed.alias : "";
+    c.continent = seed.continent;
+    c.currency = seed.currency;
+    c.who_region = WhoRegionOf(c.continent);
+    double mean = ContinentSuccessMean(c.continent);
+    double spread = ContinentSuccessSpread(c.continent);
+    c.success = std::clamp(rng->NextGaussian(mean, spread), 0.05, 0.98);
+
+    c.hdi = std::clamp(0.30 + 0.65 * c.success + rng->NextGaussian(0.0, 0.015),
+                       0.2, 0.99);
+    c.gdp = std::max(0.8, 95.0 * c.success * c.success +
+                              rng->NextGaussian(0.0, 4.0));
+    // Gini carries a success-independent component so it varies *within*
+    // Europe, where success is near-constant.
+    c.gini = std::clamp(
+        52.0 - 16.0 * c.success + 16.0 * rng->NextDouble(), 22.0, 65.0);
+    c.population = std::exp(rng->NextUniform(14.0, 20.5));  // ~1.2M..800M
+    c.area = std::exp(rng->NextUniform(10.5, 15.8));        // ~36k..7.3M km^2
+    c.density = c.population / c.area;
+    c.leader_age = std::round(rng->NextUniform(38.0, 82.0));
+    c.leader_gender = rng->NextBernoulli(0.22) ? "female" : "male";
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void PopulateCountryKg(const std::vector<CountryModel>& countries,
+                       SyntheticKgBuilder* builder,
+                       const CountryKgOptions& options) {
+  // Dense ranks by hdi / gdp (1 = best) — the redundancy twins.
+  std::vector<size_t> by_hdi(countries.size());
+  std::vector<size_t> by_gdp(countries.size());
+  for (size_t i = 0; i < countries.size(); ++i) by_hdi[i] = by_gdp[i] = i;
+  std::sort(by_hdi.begin(), by_hdi.end(), [&](size_t a, size_t b) {
+    return countries[a].hdi > countries[b].hdi;
+  });
+  std::sort(by_gdp.begin(), by_gdp.end(), [&](size_t a, size_t b) {
+    return countries[a].gdp > countries[b].gdp;
+  });
+  std::vector<double> hdi_rank(countries.size()), gdp_rank(countries.size());
+  for (size_t r = 0; r < countries.size(); ++r) {
+    hdi_rank[by_hdi[r]] = static_cast<double>(r + 1);
+    gdp_rank[by_gdp[r]] = static_cast<double>(r + 1);
+  }
+
+  const double m = options.missing_rate;
+  for (size_t i = 0; i < countries.size(); ++i) {
+    const CountryModel& c = countries[i];
+    EntityId id = builder->EnsureEntity(c.name, "Country");
+    if (!c.alias.empty()) {
+      Status st = builder->store()->AddAlias(id, c.alias);
+      MESA_CHECK(st.ok());
+    }
+    if (options.add_rank_twins) {
+      builder->AddNumericWithRank(id, "hdi", c.hdi, hdi_rank[i], m);
+      builder->AddNumericWithRank(id, "gdp", c.gdp, gdp_rank[i], m);
+    } else {
+      builder->AddNumeric(id, "hdi", c.hdi, m);
+      builder->AddNumeric(id, "gdp", c.gdp, m);
+    }
+    builder->AddNumeric(id, "gini", c.gini, m);
+    builder->AddNumeric(id, "density", c.density, m);
+    builder->AddNumeric(id, "population_census", c.population, m);
+    builder->AddNumeric(id, "population_estimate",
+                        c.population * builder->rng().NextUniform(0.97, 1.03),
+                        m);
+    builder->AddNumeric(id, "area_km2", c.area, m);
+    builder->AddCategorical(id, "currency_name", c.currency, m);
+    builder->AddCategorical(id, "official_language",
+                            "Lang_" + std::to_string(i % 23), m);
+    builder->AddNumeric(id, "established_year",
+                        std::round(builder->rng().NextUniform(1100, 1990)), m);
+    builder->AddNoiseProperties(id, "Country", options.noise_attributes, m);
+
+    if (options.add_leader_hop) {
+      EntityId leader =
+          builder->EnsureEntity("Leader of " + c.name, "Person");
+      Status st = builder->store()->AddEdge(id, "leader", leader);
+      MESA_CHECK(st.ok());
+      builder->AddNumeric(leader, "age", c.leader_age, m);
+      builder->AddCategorical(leader, "gender", c.leader_gender, m);
+    }
+  }
+}
+
+namespace {
+
+struct CitySeed {
+  const char* name;
+  const char* state;
+  double weather;  // latent bad-weather score
+  double pop_m;    // population, millions
+};
+
+constexpr CitySeed kCitySeeds[] = {
+    {"New York", "NY", 0.55, 8.4},      {"Los Angeles", "CA", 0.15, 3.9},
+    {"Chicago", "IL", 0.80, 2.7},       {"Houston", "TX", 0.45, 2.3},
+    {"Phoenix", "AZ", 0.08, 1.6},       {"Philadelphia", "PA", 0.58, 1.6},
+    {"San Antonio", "TX", 0.35, 1.5},   {"San Diego", "CA", 0.10, 1.4},
+    {"Dallas", "TX", 0.42, 1.3},        {"San Jose", "CA", 0.14, 1.0},
+    {"Austin", "TX", 0.33, 0.96},       {"Seattle", "WA", 0.72, 0.74},
+    {"Denver", "CO", 0.66, 0.72},       {"Boston", "MA", 0.70, 0.69},
+    {"Detroit", "MI", 0.78, 0.67},      {"Atlanta", "GA", 0.50, 0.50},
+    {"Miami", "FL", 0.47, 0.45},        {"Minneapolis", "MN", 0.85, 0.43},
+    {"New Orleans", "LA", 0.52, 0.39},  {"Cleveland", "OH", 0.76, 0.37},
+    {"Tampa", "FL", 0.44, 0.39},        {"Pittsburgh", "PA", 0.68, 0.30},
+    {"St Louis", "MO", 0.62, 0.30},     {"Cincinnati", "OH", 0.64, 0.31},
+    {"Orlando", "FL", 0.42, 0.29},      {"Salt Lake City", "UT", 0.58, 0.20},
+    {"Buffalo", "NY", 0.88, 0.26},      {"Portland", "OR", 0.69, 0.65},
+    {"Las Vegas", "NV", 0.07, 0.64},    {"Charlotte", "NC", 0.46, 0.87},
+    {"Nashville", "TN", 0.48, 0.69},    {"Kansas City", "MO", 0.60, 0.50},
+    {"Sacramento", "CA", 0.20, 0.52},   {"Anchorage", "AK", 0.92, 0.29},
+    {"Honolulu", "HI", 0.18, 0.35},     {"Baltimore", "MD", 0.56, 0.59},
+    {"Indianapolis", "IN", 0.63, 0.88}, {"Columbus", "OH", 0.61, 0.90},
+    {"Memphis", "TN", 0.49, 0.63},      {"Milwaukee", "WI", 0.82, 0.57},
+};
+
+constexpr const char* kAirlineNames[] = {
+    "American Airlines", "Delta Air Lines", "United Airlines",
+    "Southwest Airlines", "JetBlue Airways", "Alaska Airlines",
+    "Spirit Airlines",   "Frontier Airlines", "Hawaiian Airlines",
+    "Allegiant Air",     "SkyWest Airlines",  "Envoy Air",
+    "Republic Airways",  "Sun Country Airlines", "Endeavor Air",
+    "PSA Airlines",      "Piedmont Airlines", "Horizon Air",
+    "Mesa Airlines",     "GoJet Airlines", "Air Wisconsin",
+    "CommuteAir",        "SkyValue Airways", "Breeze Airways",
+};
+
+}  // namespace
+
+std::vector<CityModel> BuildCityWorld(Rng* rng) {
+  std::vector<CityModel> out;
+  out.reserve(std::size(kCitySeeds));
+  for (const CitySeed& seed : kCitySeeds) {
+    CityModel c;
+    c.name = seed.name;
+    c.state = seed.state;
+    c.weather = std::clamp(seed.weather + rng->NextGaussian(0.0, 0.03), 0.0,
+                           1.0);
+    c.population = seed.pop_m * 1e6 * rng->NextUniform(0.95, 1.05);
+    c.precipitation_days = 40.0 + 140.0 * c.weather +
+                           rng->NextGaussian(0.0, 6.0);
+    c.year_low_f = 60.0 - 55.0 * c.weather + rng->NextGaussian(0.0, 2.5);
+    c.year_avg_f = c.year_low_f + 22.0 + rng->NextGaussian(0.0, 1.5);
+    c.density = c.population / rng->NextUniform(200.0, 1200.0);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<AirlineModel> BuildAirlineWorld(Rng* rng) {
+  std::vector<AirlineModel> out;
+  out.reserve(std::size(kAirlineNames));
+  for (const char* name : kAirlineNames) {
+    AirlineModel a;
+    a.name = name;
+    a.quality = rng->NextUniform(0.15, 0.95);
+    a.scale = rng->NextUniform(0.1, 1.0);
+    // Financial health tracks operational quality closely: well-run
+    // carriers accumulate equity and fleet (these attributes are what
+    // explains delay-per-airline, the paper's Flights Q5).
+    double q_mix = 0.8 * a.quality + 0.2 * a.scale;
+    a.fleet_size = std::round(40.0 + 900.0 * q_mix +
+                              rng->NextGaussian(0.0, 15.0));
+    a.equity = 0.5 + 14.0 * q_mix + rng->NextGaussian(0.0, 0.4);
+    a.revenue = 1.0 + 45.0 * a.scale + rng->NextGaussian(0.0, 2.0);
+    a.net_income = a.revenue * (0.02 + 0.08 * a.quality) +
+                   rng->NextGaussian(0.0, 0.3);
+    a.num_employees = std::round(3000.0 + 90000.0 * a.scale +
+                                 rng->NextGaussian(0.0, 2500.0));
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+void PopulateFlightsKg(const std::vector<CityModel>& cities,
+                       const std::vector<AirlineModel>& airlines,
+                       SyntheticKgBuilder* builder,
+                       const FlightsKgOptions& options) {
+  const double m = options.missing_rate;
+  for (const CityModel& c : cities) {
+    EntityId id = builder->EnsureEntity(c.name, "City");
+    builder->AddNumeric(id, "precipitation_days", c.precipitation_days, m);
+    builder->AddNumeric(id, "year_low_f", c.year_low_f, m);
+    builder->AddNumeric(id, "year_avg_f", c.year_avg_f, m);
+    builder->AddNumeric(id, "december_low_f",
+                        c.year_low_f - 18.0 + builder->rng().NextGaussian(0, 2),
+                        m);
+    builder->AddNumeric(id, "population_total", c.population, m);
+    builder->AddNumeric(id, "population_urban", c.population * 0.8, m);
+    builder->AddNumeric(id, "population_metropolitan", c.population * 1.6, m);
+    builder->AddNumeric(id, "density", c.density, m);
+    builder->AddNumeric(id, "median_household_income",
+                        builder->rng().NextUniform(38000, 95000), m);
+    builder->AddCategorical(id, "state_name", c.state, m);
+    builder->AddNoiseProperties(id, "City", options.noise_attributes, m);
+  }
+  for (const AirlineModel& a : airlines) {
+    EntityId id = builder->EnsureEntity(a.name, "Airline");
+    builder->AddNumeric(id, "fleet_size", a.fleet_size, m);
+    builder->AddNumeric(id, "equity", a.equity, m);
+    builder->AddNumeric(id, "revenue", a.revenue, m);
+    builder->AddNumeric(id, "net_income", a.net_income, m);
+    builder->AddNumeric(id, "num_employees", a.num_employees, m);
+    builder->AddNoiseProperties(id, "Airline", options.noise_attributes, m);
+  }
+}
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "James", "Maria", "Robert", "Linda",  "Carlos", "Sofia", "David",
+    "Emma",  "Diego", "Olivia", "Ethan",  "Ava",    "Lucas", "Mia",
+    "Noah",  "Iris",  "Leo",    "Nina",   "Omar",   "Tara",
+};
+constexpr const char* kLastNames[] = {
+    "Smith",   "Garcia",   "Johnson",  "Silva",   "Brown",  "Martinez",
+    "Miller",  "Rossi",    "Davis",    "Kim",     "Wilson", "Chen",
+    "Moore",   "Tanaka",   "Taylor",   "Novak",   "Clark",  "Costa",
+    "Lewis",   "Haddad",
+};
+constexpr const char* kCategories[] = {"Actors", "Directors/Producers",
+                                       "Athletes", "Musicians"};
+
+}  // namespace
+
+std::vector<CelebrityModel> BuildCelebrityWorld(Rng* rng, size_t count) {
+  std::vector<CelebrityModel> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CelebrityModel c;
+    c.name = std::string(kFirstNames[rng->NextBelow(std::size(kFirstNames))]) +
+             " " + kLastNames[rng->NextBelow(std::size(kLastNames))] + " " +
+             std::to_string(i);  // unique surname suffix
+    c.category = kCategories[rng->NextBelow(std::size(kCategories))];
+    c.talent = rng->NextUniform(0.05, 1.0);
+    c.gender = rng->NextBernoulli(0.42) ? "female" : "male";
+    c.age = std::round(rng->NextUniform(19.0, 78.0));
+    c.active_since = std::round(2015.0 - (c.age - 18.0) *
+                                             rng->NextUniform(0.4, 0.9));
+    c.net_worth = std::exp(rng->NextUniform(0.0, 2.0) + 3.5 * c.talent);
+    c.awards = std::round(12.0 * c.talent * rng->NextUniform(0.3, 1.0));
+    if (c.category == std::string("Athletes")) {
+      c.cups = std::round(8.0 * c.talent * rng->NextUniform(0.4, 1.0));
+      c.national_cups = std::round(c.cups * rng->NextUniform(0.5, 1.5));
+      c.draft_pick = std::round(1.0 + 59.0 * (1.0 - c.talent) *
+                                          rng->NextUniform(0.5, 1.0));
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void PopulateForbesKg(const std::vector<CelebrityModel>& celebrities,
+                      SyntheticKgBuilder* builder,
+                      const ForbesKgOptions& options) {
+  const double m = options.missing_rate;
+  for (const CelebrityModel& c : celebrities) {
+    EntityId id = builder->EnsureEntity(c.name, "Person");
+    // Category-specific property vocabularies: DBpedia describes actors and
+    // athletes with different predicates, which is why Forbes shows 73%
+    // missing values overall.
+    builder->AddNumeric(id, "net_worth", c.net_worth, m);
+    builder->AddCategorical(id, "gender", c.gender, m);
+    builder->AddNumeric(id, "age", c.age, m);
+    builder->AddNumeric(id, "active_since", c.active_since, m);
+    if (c.category == "Athletes") {
+      builder->AddNumeric(id, "cups", c.cups, m);
+      builder->AddNumeric(id, "national_cups", c.national_cups, m);
+      builder->AddNumeric(id, "draft_pick", c.draft_pick, m);
+    } else {
+      builder->AddNumeric(id, "awards", c.awards, m);
+      builder->AddCategorical(id, "citizenship",
+                              "Country_" + std::to_string(
+                                  builder->rng().NextBelow(25)),
+                              m);
+      if (c.category == "Actors" || c.category == "Directors/Producers") {
+        builder->AddNumeric(id, "honors",
+                            std::round(c.awards *
+                                       builder->rng().NextUniform(0.3, 0.8)),
+                            m);
+      }
+    }
+    builder->AddNoiseProperties(id, "Person", options.noise_attributes, m);
+  }
+  if (options.add_ambiguous_aliases && celebrities.size() >= 2) {
+    // Two entities sharing one surface form: the linker must report
+    // ambiguity (the paper's Ronaldo example).
+    EntityId a = builder->EnsureEntity("Ronaldo Nazario", "Person");
+    EntityId b = builder->EnsureEntity("Cristiano Ronaldo", "Person");
+    MESA_CHECK(builder->store()->AddAlias(a, "Ronaldo").ok());
+    MESA_CHECK(builder->store()->AddAlias(b, "Ronaldo").ok());
+  }
+}
+
+}  // namespace mesa

@@ -1,0 +1,125 @@
+#ifndef MESA_DATAGEN_COMMON_GEN_H_
+#define MESA_DATAGEN_COMMON_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/synthetic_kg.h"
+#include "kg/triple_store.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Latent model of one country, shared by the SO and Covid-19 worlds. The
+/// single `success` latent drives every economic property (the paper's
+/// "country success" factor from Kaklauskas et al.), so HDI/GDP/Gini are
+/// genuine confounders of any outcome that also depends on success.
+struct CountryModel {
+  std::string name;
+  std::string alias;  ///< alternative surface form ("" = none).
+  std::string continent;
+  std::string currency;
+  std::string who_region;
+  double success = 0.0;  ///< latent in [0, 1].
+  double hdi = 0.0;
+  double gdp = 0.0;       ///< per-capita, thousands USD.
+  double gini = 0.0;
+  double density = 0.0;   ///< people / km^2.
+  double population = 0.0;
+  double area = 0.0;
+  double leader_age = 0.0;
+  std::string leader_gender;
+};
+
+/// Builds the deterministic country world (~60 countries across 6
+/// continents). Within Europe, HDI is nearly constant while Gini and
+/// density vary — exactly the structure behind the paper's SO Q1 vs Q3
+/// explanations and the Table 4 subgroups.
+std::vector<CountryModel> BuildCountryWorld(Rng* rng);
+
+/// Options for populating a country KG.
+struct CountryKgOptions {
+  double missing_rate = 0.2;   ///< per-property drop probability.
+  size_t noise_attributes = 6; ///< pure-noise numeric predicates.
+  bool add_leader_hop = true;  ///< entity-valued `leader` (2-hop data).
+  bool add_rank_twins = true;  ///< hdi_rank / gdp_rank redundancy.
+};
+
+/// Writes the country world into a TripleStore as DBpedia-style entities
+/// with aliases, sparsity, noise predicates, rank twins, and (optionally) a
+/// 2-hop leader entity per country.
+void PopulateCountryKg(const std::vector<CountryModel>& countries,
+                       SyntheticKgBuilder* builder,
+                       const CountryKgOptions& options = {});
+
+/// Latent model of one US city (Flights world). `weather` drives both the
+/// KG weather properties and flight delays; `population` drives traffic.
+struct CityModel {
+  std::string name;
+  std::string state;
+  double weather = 0.0;     ///< latent bad-weather score in [0, 1].
+  double population = 0.0;
+  double precipitation_days = 0.0;
+  double year_low_f = 0.0;
+  double year_avg_f = 0.0;  ///< strongly correlated with year_low_f.
+  double density = 0.0;
+};
+
+/// Latent model of one airline. `quality` (operations) drives delays;
+/// `scale` drives fleet/equity/revenue.
+struct AirlineModel {
+  std::string name;
+  double quality = 0.0;  ///< latent operational quality in [0, 1].
+  double scale = 0.0;    ///< latent size in [0, 1].
+  double fleet_size = 0.0;
+  double equity = 0.0;
+  double revenue = 0.0;
+  double net_income = 0.0;
+  double num_employees = 0.0;
+};
+
+std::vector<CityModel> BuildCityWorld(Rng* rng);
+std::vector<AirlineModel> BuildAirlineWorld(Rng* rng);
+
+/// KG population for the Flights world (city + airline entities).
+struct FlightsKgOptions {
+  double missing_rate = 0.25;
+  size_t noise_attributes = 6;
+};
+void PopulateFlightsKg(const std::vector<CityModel>& cities,
+                       const std::vector<AirlineModel>& airlines,
+                       SyntheticKgBuilder* builder,
+                       const FlightsKgOptions& options = {});
+
+/// Latent model of one celebrity (Forbes world). Properties are
+/// category-specific, reproducing the 73% missingness the paper reports.
+struct CelebrityModel {
+  std::string name;
+  std::string category;  ///< Actors / Directors / Athletes / Musicians.
+  double talent = 0.0;   ///< latent in [0, 1]; drives pay and accolades.
+  double net_worth = 0.0;
+  std::string gender;
+  double age = 0.0;
+  double awards = 0.0;
+  double active_since = 0.0;
+  // Athlete-only:
+  double cups = 0.0;
+  double draft_pick = 0.0;
+  double national_cups = 0.0;
+};
+
+std::vector<CelebrityModel> BuildCelebrityWorld(Rng* rng, size_t count);
+
+struct ForbesKgOptions {
+  double missing_rate = 0.35;  ///< on top of category-specific absence.
+  size_t noise_attributes = 4;
+  bool add_ambiguous_aliases = true;  ///< the "Ronaldo" NED failure.
+};
+void PopulateForbesKg(const std::vector<CelebrityModel>& celebrities,
+                      SyntheticKgBuilder* builder,
+                      const ForbesKgOptions& options = {});
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_COMMON_GEN_H_

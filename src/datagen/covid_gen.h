@@ -1,0 +1,19 @@
+#ifndef MESA_DATAGEN_COVID_GEN_H_
+#define MESA_DATAGEN_COVID_GEN_H_
+
+#include "datagen/registry.h"
+
+namespace mesa {
+
+/// Generates the Covid-19 world: country-level pandemic snapshots
+/// (Country, WHO_Region, Confirmed_per_100k, Deaths_per_100_cases,
+/// Recovered_per_100_cases, New_cases_per_100k) plus the country KG. The
+/// case-fatality outcome is driven by the country's latent success (so HDI
+/// and GDP confound it — the paper's Covid Q1 explanation) together with
+/// the in-table Confirmed attribute. Default size 188 rows (Table 1):
+/// roughly three snapshots per country.
+Result<GeneratedDataset> MakeCovidDataset(const GenOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_COVID_GEN_H_

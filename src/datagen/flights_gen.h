@@ -1,0 +1,20 @@
+#ifndef MESA_DATAGEN_FLIGHTS_GEN_H_
+#define MESA_DATAGEN_FLIGHTS_GEN_H_
+
+#include "datagen/registry.h"
+
+namespace mesa {
+
+/// Generates the Flights-delay world: one row per domestic flight
+/// (Airline, Origin_city, Origin_state, Destination_city, Month,
+/// Day_of_week, Distance, Security_delay, Cancelled, Departure_delay) plus
+/// a city + airline KG. Departure delay is driven by the origin city's
+/// weather latent (precipitation / temperature properties in the KG), its
+/// population (traffic volume), and the airline's operational quality
+/// (equity / fleet size) — the paper's Flights Q1–Q5 structure. Default
+/// size 100,000 rows (scale with GenOptions::rows up to the paper's 5.8M).
+Result<GeneratedDataset> MakeFlightsDataset(const GenOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_FLIGHTS_GEN_H_

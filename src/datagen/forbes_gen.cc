@@ -1,0 +1,70 @@
+#include "datagen/forbes_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/common_gen.h"
+#include "table/table_builder.h"
+
+namespace mesa {
+
+Result<GeneratedDataset> MakeForbesDataset(const GenOptions& options) {
+  const size_t rows = options.rows > 0 ? options.rows : 1'647;
+  constexpr size_t kYears = 11;  // 2005..2015
+  const size_t num_celebs = std::max<size_t>(20, (rows + kYears - 1) / kYears);
+  Rng rng(options.seed ^ 0xF0BE5);
+
+  std::vector<CelebrityModel> celebs = BuildCelebrityWorld(&rng, num_celebs);
+
+  GeneratedDataset out;
+  out.name = "Forbes";
+  out.kg = std::make_shared<TripleStore>();
+  SyntheticKgBuilder kg_builder(out.kg.get(), options.seed ^ 0xF0B);
+  ForbesKgOptions kg_opts;
+  if (options.kg_missing_rate >= 0.0) {
+    kg_opts.missing_rate = options.kg_missing_rate;
+  }
+  kg_opts.noise_attributes = options.kg_noise_attributes;
+  PopulateForbesKg(celebs, &kg_builder, kg_opts);
+  out.extraction_columns = {"Name"};
+
+  Schema schema({{"Name", DataType::kString},
+                 {"Category", DataType::kString},
+                 {"Year", DataType::kInt64},
+                 {"Pay", DataType::kDouble}});
+  TableBuilder builder(std::move(schema));
+
+  size_t emitted = 0;
+  for (size_t year_idx = 0; year_idx < kYears && emitted < rows; ++year_idx) {
+    for (size_t ci = 0; ci < celebs.size() && emitted < rows; ++ci) {
+      const CelebrityModel& c = celebs[ci];
+      double base;
+      if (c.category == "Athletes") {
+        // Performance-based pay: cups and (inverse) draft pick dominate.
+        base = 4.0 + 5.5 * c.cups + 2.0 * c.national_cups +
+               0.35 * (60.0 - c.draft_pick);
+      } else if (c.category == "Actors") {
+        // Experience (net worth proxy) plus a gender gap.
+        base = 6.0 + 9.0 * std::log1p(c.net_worth);
+        base *= c.gender == "male" ? 1.28 : 1.0;
+      } else if (c.category == "Directors/Producers") {
+        base = 5.0 + 7.0 * std::log1p(c.net_worth) + 1.6 * c.awards;
+      } else {  // Musicians
+        base = 5.0 + 8.0 * std::log1p(c.net_worth) + 0.9 * c.awards;
+      }
+      double year_trend =
+          1.0 + 0.03 * static_cast<double>(year_idx);  // market growth
+      double pay = std::max(
+          0.5, base * year_trend + rng.NextGaussian(0.0, 3.0));
+      MESA_RETURN_IF_ERROR(builder.AppendRow(
+          {Value::String(c.name), Value::String(c.category),
+           Value::Int(static_cast<int64_t>(2005 + year_idx)),
+           Value::Double(pay)}));
+      ++emitted;
+    }
+  }
+  MESA_ASSIGN_OR_RETURN(out.table, builder.Finish());
+  return out;
+}
+
+}  // namespace mesa

@@ -1,0 +1,20 @@
+#ifndef MESA_DATAGEN_FORBES_GEN_H_
+#define MESA_DATAGEN_FORBES_GEN_H_
+
+#include "datagen/registry.h"
+
+namespace mesa {
+
+/// Generates the Forbes celebrity-earnings world: one row per celebrity
+/// per year (Name, Category, Year, Pay) plus a person KG whose property
+/// vocabulary differs by category (actors have awards/honors, athletes
+/// have cups/draft picks) — reproducing the 73% missingness of §5.2. Pay
+/// is driven by the latent talent (proxied by Net Worth in the KG), a
+/// gender pay gap for actors, and performance attributes for athletes —
+/// the paper's Forbes Q1–Q3 structure. Default size 1,647 rows (Table 1):
+/// ~150 celebrities over 11 years.
+Result<GeneratedDataset> MakeForbesDataset(const GenOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_FORBES_GEN_H_

@@ -1,0 +1,146 @@
+#include "datagen/registry.h"
+
+#include "datagen/covid_gen.h"
+#include "datagen/flights_gen.h"
+#include "datagen/forbes_gen.h"
+#include "datagen/so_gen.h"
+
+namespace mesa {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kStackOverflow:
+      return "SO";
+    case DatasetKind::kCovid:
+      return "COVID-19";
+    case DatasetKind::kFlights:
+      return "Flights";
+    case DatasetKind::kForbes:
+      return "Forbes";
+  }
+  return "?";
+}
+
+std::vector<DatasetKind> AllDatasetKinds() {
+  return {DatasetKind::kStackOverflow, DatasetKind::kCovid,
+          DatasetKind::kFlights, DatasetKind::kForbes};
+}
+
+Result<GeneratedDataset> MakeDataset(DatasetKind kind,
+                                     const GenOptions& options) {
+  switch (kind) {
+    case DatasetKind::kStackOverflow:
+      return MakeStackOverflowDataset(options);
+    case DatasetKind::kCovid:
+      return MakeCovidDataset(options);
+    case DatasetKind::kFlights:
+      return MakeFlightsDataset(options);
+    case DatasetKind::kForbes:
+      return MakeForbesDataset(options);
+  }
+  return Status::InvalidArgument("unknown dataset kind");
+}
+
+namespace {
+
+QuerySpec Avg(const std::string& exposure, const std::string& outcome,
+              Conjunction context = {}) {
+  QuerySpec q;
+  q.exposure = exposure;
+  q.outcome = outcome;
+  q.aggregate = AggregateFunction::kAvg;
+  q.context = std::move(context);
+  return q;
+}
+
+Conjunction Where(const std::string& column, const std::string& value) {
+  Conjunction c;
+  c.Add({column, CompareOp::kEq, Value::String(value), {}});
+  return c;
+}
+
+}  // namespace
+
+std::vector<BenchQuery> CanonicalQueries(DatasetKind kind) {
+  // Ground-truth entries are groups of acceptable alternatives separated by
+  // '|': picking any member of a group covers that causal factor of the
+  // generative model (e.g. hdi and hdi_rank are interchangeable proxies).
+  switch (kind) {
+    case DatasetKind::kStackOverflow:
+      return {
+          {"SO Q1", "Average salary per country",
+           Avg("Country", "Salary"),
+           {"hdi|hdi_rank|gdp|gdp_rank", "gini",
+            "population_census|population_estimate"}},
+          {"SO Q2", "Average salary per continent",
+           Avg("Continent", "Salary"),
+           {"hdi|hdi_rank|gdp|gdp_rank|continent_gdp",
+            "population_census|population_estimate|density|"
+            "continent_density"}},
+          {"SO Q3", "Average salary per country in Europe",
+           Avg("Country", "Salary", Where("Continent", "Europe")),
+           {"gini", "population_census|population_estimate"}},
+      };
+    case DatasetKind::kCovid:
+      return {
+          {"Covid Q1", "Deaths per country",
+           Avg("Country", "Deaths_per_100_cases"),
+           {"hdi|hdi_rank|gdp|gdp_rank", "Confirmed_per_100k", "density"}},
+          {"Covid Q2", "Deaths per country in Europe",
+           Avg("Country", "Deaths_per_100_cases",
+               Where("WHO_Region", "Europe")),
+           {"Confirmed_per_100k", "density"}},
+          {"Covid Q3", "Average deaths per WHO region",
+           Avg("WHO_Region", "Deaths_per_100_cases"),
+           {"density", "Confirmed_per_100k",
+            "hdi|hdi_rank|gdp|gdp_rank"}},
+      };
+    case DatasetKind::kFlights:
+      return {
+          {"Flights Q1", "Average delay per origin city",
+           Avg("Origin_city", "Departure_delay"),
+           {"precipitation_days|year_low_f|year_avg_f|december_low_f",
+            "population_total|population_urban|population_metropolitan|"
+            "density"}},
+          {"Flights Q2", "Average delay per origin state",
+           Avg("Origin_state", "Departure_delay"),
+           {"precipitation_days|year_low_f|year_avg_f|december_low_f",
+            "population_total|population_urban|population_metropolitan|"
+            "density"}},
+          {"Flights Q3", "Average delay per origin city in California",
+           Avg("Origin_city", "Departure_delay",
+               Where("Origin_state", "CA")),
+           {"population_total|population_urban|population_metropolitan|"
+            "density",
+            "Security_delay"}},
+          {"Flights Q4", "Average delay per origin state and airline",
+           [] {
+             QuerySpec q = Avg("Origin_state", "Departure_delay");
+             q.secondary_exposures = {"Airline"};
+             return q;
+           }(),
+           {"equity|fleet_size|net_income",
+            "precipitation_days|year_low_f|year_avg_f|december_low_f|"
+            "population_total|population_urban|population_metropolitan|"
+            "density"}},
+          {"Flights Q5", "Average delay per airline",
+           Avg("Airline", "Departure_delay"),
+           {"equity|fleet_size|net_income"}},
+      };
+    case DatasetKind::kForbes:
+      return {
+          {"Forbes Q1", "Salary of actors",
+           Avg("Name", "Pay", Where("Category", "Actors")),
+           {"net_worth", "gender"}},
+          {"Forbes Q2", "Salary of directors/producers",
+           Avg("Name", "Pay", Where("Category", "Directors/Producers")),
+           {"net_worth", "awards"}},
+          {"Forbes Q3", "Salary of athletes",
+           Avg("Name", "Pay", Where("Category", "Athletes")),
+           {"cups|national_cups", "draft_pick"}},
+      };
+  }
+  return {};
+}
+
+}  // namespace mesa

@@ -1,0 +1,70 @@
+#ifndef MESA_DATAGEN_REGISTRY_H_
+#define MESA_DATAGEN_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kg/triple_store.h"
+#include "query/query_spec.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// The four evaluation datasets of Section 5 (Table 1).
+enum class DatasetKind {
+  kStackOverflow,
+  kCovid,
+  kFlights,
+  kForbes,
+};
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// Options for dataset generation.
+struct GenOptions {
+  /// Row count; 0 = the dataset's paper-matching default (Table 1).
+  size_t rows = 0;
+  uint64_t seed = 43;
+  /// Per-property drop probability in the synthetic KG; negative = the
+  /// dataset's default (tuned to reproduce the missing rates of §5.2).
+  double kg_missing_rate = -1.0;
+  /// Pure-noise predicates per entity (widens the candidate space).
+  size_t kg_noise_attributes = 6;
+};
+
+/// A generated dataset plus its knowledge source.
+struct GeneratedDataset {
+  std::string name;
+  Table table;
+  std::shared_ptr<TripleStore> kg;
+  /// Columns used for extraction (Table 1's last column).
+  std::vector<std::string> extraction_columns;
+};
+
+/// One of the 14 representative queries of Table 2, with the planted
+/// ground-truth confounders of our generative model (used by the
+/// user-study substitution to score explanation quality).
+struct BenchQuery {
+  std::string id;           ///< "SO Q1"
+  std::string description;  ///< "Average salary per country"
+  QuerySpec query;
+  /// Attribute names that genuinely drive the outcome in the generator
+  /// (including accepted proxies such as *_rank twins).
+  std::vector<std::string> ground_truth;
+};
+
+/// Builds a dataset (table + KG) of the given kind.
+Result<GeneratedDataset> MakeDataset(DatasetKind kind,
+                                     const GenOptions& options = {});
+
+/// The canonical Table 2 queries for a dataset.
+std::vector<BenchQuery> CanonicalQueries(DatasetKind kind);
+
+/// All four dataset kinds, in Table 1 order.
+std::vector<DatasetKind> AllDatasetKinds();
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_REGISTRY_H_

@@ -1,0 +1,122 @@
+#include "datagen/so_gen.h"
+
+#include <cmath>
+
+#include "datagen/common_gen.h"
+#include "table/table_builder.h"
+
+namespace mesa {
+
+namespace {
+
+constexpr const char* kDevTypes[] = {
+    "Backend", "Frontend", "Fullstack", "Mobile",
+    "DevOps",  "DataScience", "Embedded", "QA",
+};
+
+double DevTypeBonus(size_t dev_type) {
+  static const double kBonus[] = {1.08, 0.88, 1.0, 0.95, 1.18, 1.32, 1.04, 0.76};
+  return kBonus[dev_type];
+}
+
+}  // namespace
+
+Result<GeneratedDataset> MakeStackOverflowDataset(const GenOptions& options) {
+  const size_t rows = options.rows > 0 ? options.rows : 47'623;
+  Rng rng(options.seed);
+
+  std::vector<CountryModel> countries = BuildCountryWorld(&rng);
+
+  GeneratedDataset out;
+  out.name = "SO";
+  out.kg = std::make_shared<TripleStore>();
+  SyntheticKgBuilder kg_builder(out.kg.get(), options.seed ^ 0x50F7);
+  CountryKgOptions kg_opts;
+  if (options.kg_missing_rate >= 0.0) {
+    kg_opts.missing_rate = options.kg_missing_rate;
+  }
+  kg_opts.noise_attributes = options.kg_noise_attributes;
+  PopulateCountryKg(countries, &kg_builder, kg_opts);
+  out.extraction_columns = {"Country", "Continent"};
+
+  // Continents as linkable entities too (SO extracts on both columns).
+  for (const char* continent :
+       {"Europe", "Asia", "North America", "South America", "Africa",
+        "Oceania"}) {
+    double mean_success = 0.0;
+    double mean_density = 0.0;
+    double total_pop = 0.0, total_area = 0.0;
+    size_t n = 0;
+    for (const auto& c : countries) {
+      if (c.continent == continent) {
+        mean_success += c.success;
+        total_pop += c.population;
+        total_area += c.area;
+        ++n;
+      }
+    }
+    mean_success /= static_cast<double>(n);
+    mean_density = total_pop / total_area;
+    EntityId id = kg_builder.EnsureEntity(continent, "Continent");
+    kg_builder.AddNumeric(id, "continent_gdp",
+                          95.0 * mean_success * mean_success,
+                          kg_opts.missing_rate);
+    kg_builder.AddNumeric(id, "continent_density", mean_density,
+                          kg_opts.missing_rate);
+    kg_builder.AddNumeric(id, "continent_area", total_area,
+                          kg_opts.missing_rate);
+    kg_builder.AddNoiseProperties(id, "Continent", 2, kg_opts.missing_rate);
+  }
+
+  // Row sampling weights: developers come disproportionately from large,
+  // successful countries.
+  std::vector<double> weights;
+  weights.reserve(countries.size());
+  for (const auto& c : countries) {
+    weights.push_back(std::sqrt(c.population) * (0.3 + c.success));
+  }
+
+  Schema schema({{"Country", DataType::kString},
+                 {"Continent", DataType::kString},
+                 {"Gender", DataType::kString},
+                 {"DevType", DataType::kString},
+                 {"Age", DataType::kInt64},
+                 {"YearsCode", DataType::kInt64},
+                 {"Hobby", DataType::kBool},
+                 {"Salary", DataType::kDouble}});
+  TableBuilder builder(std::move(schema));
+
+  for (size_t r = 0; r < rows; ++r) {
+    const CountryModel& c = countries[rng.NextWeighted(weights)];
+    bool male = rng.NextBernoulli(0.78);
+    size_t dev_type = rng.NextBelow(std::size(kDevTypes));
+    int64_t age = rng.NextInt(18, 64);
+    int64_t years_code =
+        std::min<int64_t>(age - 17, rng.NextInt(1, 30));
+    bool hobby = rng.NextBernoulli(0.55);
+
+    // Salary model: HDI and Gini are the real country-level drivers, with
+    // a developer-scarcity term in population. Individual effects (gender
+    // gap, dev type, experience) add within-country variance.
+    double pop_millions = c.population / 1e6;
+    double salary = 4000.0 + 74000.0 * (c.hdi - 0.2) / 0.8 +
+                    (40.0 - c.gini) * 1400.0 -
+                    9000.0 * std::log10(std::max(1.0, pop_millions));
+    salary *= DevTypeBonus(dev_type);
+    salary *= male ? 1.10 : 0.94;
+    salary *= 1.0 + 0.024 * static_cast<double>(years_code);
+    salary += rng.NextGaussian(0.0, 4200.0);
+    salary = std::max(1200.0, salary);
+
+    MESA_RETURN_IF_ERROR(builder.AppendRow(
+        {Value::String(c.name), Value::String(c.continent),
+         Value::String(male ? "Man" : "Woman"),
+         Value::String(kDevTypes[dev_type]), Value::Int(age),
+         Value::Int(years_code), Value::Bool(hobby),
+         Value::Double(salary)}));
+  }
+  MESA_ASSIGN_OR_RETURN(out.table, builder.Finish());
+  return out;
+}
+
+}  // namespace mesa

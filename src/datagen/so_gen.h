@@ -1,0 +1,19 @@
+#ifndef MESA_DATAGEN_SO_GEN_H_
+#define MESA_DATAGEN_SO_GEN_H_
+
+#include "datagen/registry.h"
+
+namespace mesa {
+
+/// Generates the Stack Overflow developer-survey world: one row per
+/// developer (Country, Continent, Gender, DevType, Age, YearsCode, Hobby,
+/// Salary) plus a country KG. Salary is driven by the country's HDI and
+/// Gini, a population-scarcity term, and a gender gap — so the planted
+/// confounders for "salary per country" are exactly the paper's
+/// {HDI, Gini} with {Population} mattering once HDI is controlled
+/// (SO Q3). Default size 47,623 rows (Table 1).
+Result<GeneratedDataset> MakeStackOverflowDataset(const GenOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_DATAGEN_SO_GEN_H_

@@ -1,0 +1,74 @@
+#include "info/contingency.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+CodedVariable CombinePair(const CodedVariable& a, const CodedVariable& b) {
+  MESA_CHECK(a.codes.size() == b.codes.size());
+  CodedVariable out;
+  out.codes.resize(a.codes.size());
+  std::unordered_map<uint64_t, int32_t> dict;
+  dict.reserve(64);
+  for (size_t i = 0; i < a.codes.size(); ++i) {
+    if (a.codes[i] < 0 || b.codes[i] < 0) {
+      out.codes[i] = -1;
+      continue;
+    }
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a.codes[i]))
+                    << 32) |
+                   static_cast<uint32_t>(b.codes[i]);
+    auto [it, inserted] =
+        dict.emplace(key, static_cast<int32_t>(dict.size()));
+    (void)inserted;
+    out.codes[i] = it->second;
+  }
+  out.cardinality = static_cast<int32_t>(dict.size());
+  return out;
+}
+
+CodedVariable CombineAll(const std::vector<const CodedVariable*>& vars,
+                         size_t n) {
+  if (vars.empty()) {
+    CodedVariable constant;
+    constant.codes.assign(n, 0);
+    constant.cardinality = 1;
+    return constant;
+  }
+  CodedVariable acc = *vars[0];
+  for (size_t i = 1; i < vars.size(); ++i) {
+    acc = CombinePair(acc, *vars[i]);
+  }
+  return acc;
+}
+
+std::vector<double> WeightedCounts(const CodedVariable& x,
+                                   const std::vector<double>* weights,
+                                   double* total) {
+  // Size by the observed maximum when the declared cardinality is huge —
+  // callers may pass pessimistic cardinalities (e.g. a product bound) and
+  // the count vector must not balloon past the actual support.
+  size_t size = static_cast<size_t>(std::max<int32_t>(0, x.cardinality));
+  constexpr size_t kDenseLimit = size_t{1} << 22;
+  if (size > kDenseLimit) {
+    int32_t max_code = -1;
+    for (int32_t c : x.codes) max_code = std::max(max_code, c);
+    size = static_cast<size_t>(max_code + 1);
+  }
+  std::vector<double> counts(size, 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < x.codes.size(); ++i) {
+    int32_t c = x.codes[i];
+    if (c < 0) continue;
+    double w = weights != nullptr ? (*weights)[i] : 1.0;
+    counts[static_cast<size_t>(c)] += w;
+    sum += w;
+  }
+  if (total != nullptr) *total = sum;
+  return counts;
+}
+
+}  // namespace mesa

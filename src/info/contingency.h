@@ -1,0 +1,43 @@
+#ifndef MESA_INFO_CONTINGENCY_H_
+#define MESA_INFO_CONTINGENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mesa {
+
+/// A discrete variable over n rows: per-row code in [0, cardinality) or -1
+/// for missing. All information-theoretic estimators operate on coded
+/// variables; the discretizer produces them from table columns.
+struct CodedVariable {
+  std::vector<int32_t> codes;
+  int32_t cardinality = 0;
+
+  size_t size() const { return codes.size(); }
+};
+
+/// Combines two coded variables into one whose codes identify the observed
+/// (a, b) pairs. A row missing in either input is missing in the output.
+/// Codes are assigned densely in order of first appearance, so cardinality
+/// equals the number of distinct observed pairs (never the full product —
+/// this keeps repeated combination overflow-free).
+CodedVariable CombinePair(const CodedVariable& a, const CodedVariable& b);
+
+/// Folds CombinePair over a list. An empty list yields the constant
+/// variable (cardinality 1, all codes 0) over `n` rows — the neutral
+/// conditioning set.
+CodedVariable CombineAll(const std::vector<const CodedVariable*>& vars,
+                         size_t n);
+
+/// Per-code total weight (count when `weights` is null). Rows with code -1
+/// are skipped. Returns a vector of length `cardinality` plus the total in
+/// `*total`.
+std::vector<double> WeightedCounts(const CodedVariable& x,
+                                   const std::vector<double>* weights,
+                                   double* total);
+
+}  // namespace mesa
+
+#endif  // MESA_INFO_CONTINGENCY_H_

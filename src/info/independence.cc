@@ -1,0 +1,68 @@
+#include "info/independence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "stats/distributions.h"
+
+namespace mesa {
+
+IndependenceResult ConditionalIndependenceTest(
+    const CodedVariable& x, const CodedVariable& y, const CodedVariable& z,
+    const IndependenceOptions& options) {
+  IndependenceResult result;
+  result.cmi = ConditionalMutualInformation(x, y, z);
+  if (result.cmi < options.cmi_epsilon) {
+    result.p_value = 1.0;
+    result.independent = true;
+    return result;
+  }
+
+  if (options.method == IndependenceMethod::kGTest) {
+    size_t n = 0;
+    std::set<int32_t> z_seen;
+    for (size_t i = 0; i < z.codes.size(); ++i) {
+      if (x.codes[i] < 0 || y.codes[i] < 0 || z.codes[i] < 0) continue;
+      ++n;
+      z_seen.insert(z.codes[i]);
+    }
+    double df = static_cast<double>(std::max(1, x.cardinality - 1)) *
+                static_cast<double>(std::max(1, y.cardinality - 1)) *
+                static_cast<double>(std::max<size_t>(1, z_seen.size()));
+    double g = 2.0 * static_cast<double>(n) * result.cmi * std::log(2.0);
+    result.p_value = ChiSquaredSf(g, df);
+    result.independent = result.p_value >= options.alpha;
+    return result;
+  }
+
+  // Group row indices by stratum of Z (only rows observed in all three).
+  std::unordered_map<int32_t, std::vector<size_t>> strata;
+  for (size_t i = 0; i < z.codes.size(); ++i) {
+    if (z.codes[i] < 0 || x.codes[i] < 0 || y.codes[i] < 0) continue;
+    strata[z.codes[i]].push_back(i);
+  }
+
+  Rng rng(options.seed);
+  size_t at_least = 0;
+  CodedVariable xp = x;
+  for (size_t perm = 0; perm < options.num_permutations; ++perm) {
+    // Shuffle X within each stratum.
+    for (auto& [code, rows] : strata) {
+      (void)code;
+      for (size_t i = rows.size(); i > 1; --i) {
+        size_t j = static_cast<size_t>(rng.NextBelow(i));
+        std::swap(xp.codes[rows[i - 1]], xp.codes[rows[j]]);
+      }
+    }
+    double cmi = ConditionalMutualInformation(xp, y, z);
+    if (cmi >= result.cmi) ++at_least;
+  }
+  result.p_value = static_cast<double>(1 + at_least) /
+                   static_cast<double>(1 + options.num_permutations);
+  result.independent = result.p_value >= options.alpha;
+  return result;
+}
+
+}  // namespace mesa

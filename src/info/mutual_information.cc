@@ -1,0 +1,237 @@
+#include "info/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+namespace {
+
+// Bits needed to store codes in [0, cardinality).
+int BitsFor(int32_t cardinality) {
+  int bits = 1;
+  while ((int64_t{1} << bits) < cardinality) ++bits;
+  return bits;
+}
+
+double EntropyOfMap(const std::unordered_map<uint64_t, double>& counts,
+                    double total, const EntropyOptions& options) {
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& [key, c] : counts) {
+    (void)key;
+    if (c <= 0.0) continue;
+    double p = c / total;
+    h -= p * std::log2(p);
+  }
+  if (options.miller_madow && counts.size() > 1) {
+    h += static_cast<double>(counts.size() - 1) /
+         (2.0 * total * std::log(2.0));
+  }
+  return h;
+}
+
+// Dense-array variant of PackedCmi for small key spaces: counting into a
+// flat vector avoids all hashing, which makes the estimator memory-bound
+// instead of hash-bound (roughly 5x on the benchmark datasets, where the
+// joint key space is a few thousand cells).
+double DenseCmi(const CodedVariable& x, const CodedVariable& y,
+                const CodedVariable& z, const std::vector<double>* weights,
+                const EntropyOptions& options, int by, int bz) {
+  const size_t cells_xyz = size_t{1} << (BitsFor(std::max<int32_t>(
+                               1, x.cardinality)) +
+                                         by + bz);
+  std::vector<double> xyz(cells_xyz, 0.0);
+  double total = 0.0;
+  const size_t n = x.codes.size();
+  if (weights == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
+      if ((cx | cy | cz) < 0) continue;  // any missing
+      size_t key = (static_cast<size_t>(cx) << (by + bz)) |
+                   (static_cast<size_t>(cy) << bz) | static_cast<size_t>(cz);
+      xyz[key] += 1.0;
+      total += 1.0;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
+      if ((cx | cy | cz) < 0) continue;
+      double w = (*weights)[i];
+      if (w <= 0.0) continue;
+      size_t key = (static_cast<size_t>(cx) << (by + bz)) |
+                   (static_cast<size_t>(cy) << bz) | static_cast<size_t>(cz);
+      xyz[key] += w;
+      total += w;
+    }
+  }
+  if (total <= 0.0) return 0.0;
+
+  const size_t cells_xz =
+      size_t{1} << (BitsFor(std::max<int32_t>(1, x.cardinality)) + bz);
+  std::vector<double> xz(cells_xz, 0.0);
+  std::vector<double> yz(size_t{1} << (by + bz), 0.0);
+  std::vector<double> zonly(size_t{1} << bz, 0.0);
+  double h_xyz = 0.0;
+  size_t support_xyz = 0;
+  const double inv_total = 1.0 / total;
+  for (size_t key = 0; key < cells_xyz; ++key) {
+    double c = xyz[key];
+    if (c <= 0.0) continue;
+    ++support_xyz;
+    double p = c * inv_total;
+    h_xyz -= p * std::log2(p);
+    size_t kx = key >> (by + bz);
+    size_t ky = (key >> bz) & ((size_t{1} << by) - 1);
+    size_t kz = key & ((size_t{1} << bz) - 1);
+    xz[(kx << bz) | kz] += c;
+    yz[(ky << bz) | kz] += c;
+    zonly[kz] += c;
+  }
+  auto entropy_of = [&](const std::vector<double>& counts, size_t* support) {
+    double h = 0.0;
+    size_t s = 0;
+    for (double c : counts) {
+      if (c <= 0.0) continue;
+      ++s;
+      double p = c * inv_total;
+      h -= p * std::log2(p);
+    }
+    if (support != nullptr) *support = s;
+    return h;
+  };
+  size_t s_xz = 0, s_yz = 0, s_z = 0;
+  double h_xz = entropy_of(xz, &s_xz);
+  double h_yz = entropy_of(yz, &s_yz);
+  double h_z = entropy_of(zonly, &s_z);
+  if (options.miller_madow) {
+    const double mm = 1.0 / (2.0 * total * std::log(2.0));
+    if (support_xyz > 1) h_xyz += (support_xyz - 1) * mm;
+    if (s_xz > 1) h_xz += (s_xz - 1) * mm;
+    if (s_yz > 1) h_yz += (s_yz - 1) * mm;
+    if (s_z > 1) h_z += (s_z - 1) * mm;
+  }
+  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
+}
+
+// Single-pass CMI over packed (x, y, z) keys. Requires the key widths to
+// fit 64 bits; the caller falls back to the generic path otherwise. Rows
+// missing any variable are skipped, so every entropy term shares one
+// support, and optional row weights give the IPW estimator.
+double PackedCmi(const CodedVariable& x, const CodedVariable& y,
+                 const CodedVariable& z, const std::vector<double>* weights,
+                 const EntropyOptions& options, int by, int bz) {
+  std::unordered_map<uint64_t, double> xyz;
+  xyz.reserve(256);
+  double total = 0.0;
+  const size_t n = x.codes.size();
+  for (size_t i = 0; i < n; ++i) {
+    int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
+    if (cx < 0 || cy < 0 || cz < 0) continue;
+    double w = weights != nullptr ? (*weights)[i] : 1.0;
+    if (w <= 0.0) continue;
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(cx))
+                    << (by + bz)) |
+                   (static_cast<uint64_t>(static_cast<uint32_t>(cy)) << bz) |
+                   static_cast<uint32_t>(cz);
+    xyz[key] += w;
+    total += w;
+  }
+  if (total <= 0.0) return 0.0;
+
+  std::unordered_map<uint64_t, double> xz, yz, zonly;
+  xz.reserve(xyz.size());
+  yz.reserve(xyz.size());
+  for (const auto& [key, c] : xyz) {
+    uint64_t kx = key >> (by + bz);
+    uint64_t ky = (key >> bz) & ((uint64_t{1} << by) - 1);
+    uint64_t kz = key & ((uint64_t{1} << bz) - 1);
+    xz[(kx << bz) | kz] += c;
+    yz[(ky << bz) | kz] += c;
+    zonly[kz] += c;
+  }
+  double h_xyz = EntropyOfMap(xyz, total, options);
+  double h_xz = EntropyOfMap(xz, total, options);
+  double h_yz = EntropyOfMap(yz, total, options);
+  double h_z = EntropyOfMap(zonly, total, options);
+  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
+}
+
+// Masks variable `v` to the rows present in `support` (code >= 0), so all
+// entropy terms of an MI/CMI expression share one sample.
+CodedVariable MaskTo(const CodedVariable& v, const CodedVariable& support) {
+  CodedVariable out = v;
+  for (size_t i = 0; i < out.codes.size(); ++i) {
+    if (support.codes[i] < 0) out.codes[i] = -1;
+  }
+  return out;
+}
+
+}  // namespace
+
+double MutualInformation(const CodedVariable& x, const CodedVariable& y,
+                         const std::vector<double>* weights,
+                         const EntropyOptions& options) {
+  MESA_CHECK(x.size() == y.size());
+  // I(X;Y) = I(X;Y|const); small-cardinality pairs take the dense path.
+  int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
+  int by = BitsFor(std::max<int32_t>(1, y.cardinality));
+  if (bx + by + 1 <= 20) {
+    CodedVariable trivial;
+    trivial.codes.assign(x.codes.size(), 0);
+    trivial.cardinality = 1;
+    return DenseCmi(x, y, trivial, weights, options, by, 1);
+  }
+  CodedVariable xy = CombinePair(x, y);
+  double h_x = Entropy(MaskTo(x, xy), weights, options);
+  double h_y = Entropy(MaskTo(y, xy), weights, options);
+  double h_xy = Entropy(xy, weights, options);
+  return std::max(0.0, h_x + h_y - h_xy);
+}
+
+double ConditionalMutualInformation(const CodedVariable& x,
+                                    const CodedVariable& y,
+                                    const CodedVariable& z,
+                                    const std::vector<double>* weights,
+                                    const EntropyOptions& options) {
+  MESA_CHECK(x.size() == y.size() && y.size() == z.size());
+  // Fast path: one hash pass over packed keys when the widths fit.
+  int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
+  int by = BitsFor(std::max<int32_t>(1, y.cardinality));
+  int bz = BitsFor(std::max<int32_t>(1, z.cardinality));
+  if (bx + by + bz <= 20) {
+    // Small key space: dense counting beats hashing.
+    return DenseCmi(x, y, z, weights, options, by, bz);
+  }
+  if (bx + by + bz <= 64) {
+    return PackedCmi(x, y, z, weights, options, by, bz);
+  }
+  CodedVariable xz = CombinePair(x, z);
+  CodedVariable yz = CombinePair(y, z);
+  CodedVariable xyz = CombinePair(xz, y);
+  double h_xz = Entropy(MaskTo(xz, xyz), weights, options);
+  double h_yz = Entropy(MaskTo(yz, xyz), weights, options);
+  double h_xyz = Entropy(xyz, weights, options);
+  double h_z = Entropy(MaskTo(z, xyz), weights, options);
+  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
+}
+
+double InteractionInformation(const CodedVariable& x, const CodedVariable& y,
+                              const CodedVariable& z,
+                              const std::vector<double>* weights,
+                              const EntropyOptions& options) {
+  // Evaluate both terms over the common support of all three variables so
+  // the difference is meaningful under missing data.
+  CodedVariable xyz = CombinePair(CombinePair(x, z), y);
+  CodedVariable xm = MaskTo(x, xyz);
+  CodedVariable ym = MaskTo(y, xyz);
+  CodedVariable zm = MaskTo(z, xyz);
+  double mi = MutualInformation(xm, ym, weights, options);
+  double cmi = ConditionalMutualInformation(xm, ym, zm, weights, options);
+  return mi - cmi;
+}
+
+}  // namespace mesa

@@ -1,0 +1,79 @@
+#include "kg/entity_linker.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mesa {
+
+EntityLinker::EntityLinker(const TripleStore* store,
+                           EntityLinkerOptions options)
+    : store_(store), options_(std::move(options)) {}
+
+bool EntityLinker::TypeOk(EntityId id) const {
+  return options_.type_filter.empty() ||
+         store_->entity(id).type == options_.type_filter;
+}
+
+LinkResult EntityLinker::Link(const std::string& text) const {
+  LinkResult result;
+
+  // 1. Exact canonical label.
+  if (auto id = store_->FindByLabel(text); id.has_value() && TypeOk(*id)) {
+    result.outcome = LinkOutcome::kExactLabel;
+    result.entity = *id;
+    return result;
+  }
+
+  // 2. Alias / normalised-form match — unique after the type filter.
+  std::vector<EntityId> candidates;
+  for (EntityId id : store_->FindByAlias(text)) {
+    if (TypeOk(id)) candidates.push_back(id);
+  }
+  if (candidates.empty()) {
+    for (EntityId id : store_->FindByNormalized(text)) {
+      if (TypeOk(id)) candidates.push_back(id);
+    }
+  }
+  if (candidates.size() == 1) {
+    result.outcome = LinkOutcome::kAliasMatch;
+    result.entity = candidates[0];
+    return result;
+  }
+  if (candidates.size() > 1) {
+    result.outcome = LinkOutcome::kAmbiguous;
+    return result;
+  }
+
+  // 3. Fuzzy fallback over normalised labels of type-compatible entities.
+  if (!options_.enable_fuzzy) {
+    result.outcome = LinkOutcome::kNotFound;
+    return result;
+  }
+  std::string norm = NormalizeEntityName(text);
+  size_t best = std::numeric_limits<size_t>::max();
+  std::vector<EntityId> best_ids;
+  for (EntityId id = 0; id < store_->num_entities(); ++id) {
+    if (!TypeOk(id)) continue;
+    size_t d = EditDistance(norm, NormalizeEntityName(store_->entity(id).label));
+    if (d > options_.max_edit_distance) continue;
+    if (d < best) {
+      best = d;
+      best_ids.assign(1, id);
+    } else if (d == best) {
+      best_ids.push_back(id);
+    }
+  }
+  if (best_ids.size() == 1) {
+    result.outcome = LinkOutcome::kFuzzyMatch;
+    result.entity = best_ids[0];
+  } else if (best_ids.size() > 1) {
+    result.outcome = LinkOutcome::kAmbiguous;
+  } else {
+    result.outcome = LinkOutcome::kNotFound;
+  }
+  return result;
+}
+
+}  // namespace mesa

@@ -1,0 +1,63 @@
+#ifndef MESA_KG_ENTITY_LINKER_H_
+#define MESA_KG_ENTITY_LINKER_H_
+
+#include <optional>
+#include <string>
+
+#include "kg/triple_store.h"
+
+namespace mesa {
+
+/// How a surface form was resolved (or why it was not).
+enum class LinkOutcome {
+  kExactLabel,    ///< canonical label match.
+  kAliasMatch,    ///< unique alias / normalised match.
+  kFuzzyMatch,    ///< unique small-edit-distance match.
+  kAmbiguous,     ///< several candidates, none dominant (paper's "Ronaldo").
+  kNotFound,      ///< nothing close enough.
+};
+
+/// Result of linking one table value to the KG.
+struct LinkResult {
+  LinkOutcome outcome = LinkOutcome::kNotFound;
+  std::optional<EntityId> entity;
+
+  bool linked() const { return entity.has_value(); }
+};
+
+/// Options for the linker.
+struct EntityLinkerOptions {
+  /// Restrict candidates to this entity type ("" = any type).
+  std::string type_filter;
+  /// Maximum edit distance (over normalised forms) for the fuzzy fallback.
+  size_t max_edit_distance = 2;
+  /// Enable the fuzzy fallback at all.
+  bool enable_fuzzy = true;
+};
+
+/// Named-entity-disambiguation stand-in (the paper plugs in an off-the-shelf
+/// NED system; Section 3.1). Resolution order:
+///   1. exact canonical label;
+///   2. unique alias / normalised-form match;
+///   3. unique fuzzy match within `max_edit_distance`.
+/// Multiple equally good candidates yield kAmbiguous with no entity —
+/// reproducing the linker failures discussed in the paper's appendix, which
+/// are one source of missing values downstream.
+class EntityLinker {
+ public:
+  explicit EntityLinker(const TripleStore* store,
+                        EntityLinkerOptions options = {});
+
+  /// Links one surface form.
+  LinkResult Link(const std::string& text) const;
+
+ private:
+  bool TypeOk(EntityId id) const;
+
+  const TripleStore* store_;
+  EntityLinkerOptions options_;
+};
+
+}  // namespace mesa
+
+#endif  // MESA_KG_ENTITY_LINKER_H_

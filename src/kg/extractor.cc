@@ -1,0 +1,214 @@
+#include "kg/extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "query/join.h"
+
+namespace mesa {
+
+namespace {
+
+// Recursively gathers properties of `entity` into `out`, following
+// entity-valued predicates while hops remain. Attribute names compose as
+// "leader_age" for hop-2 properties.
+void GatherProperties(const TripleStore& store, EntityId entity,
+                      const std::string& prefix, size_t hops_left,
+                      std::map<std::string, std::vector<Value>>* out) {
+  for (const Triple* t : store.PropertiesOf(entity)) {
+    const std::string& pred = store.predicate_name(t->predicate);
+    std::string name = prefix.empty() ? pred : prefix + "_" + pred;
+    if (t->object.is_entity()) {
+      // The entity's label is itself a (categorical) attribute value.
+      (*out)[name].push_back(
+          Value::String(store.entity(t->object.entity).label));
+      if (hops_left > 1) {
+        GatherProperties(store, t->object.entity, name, hops_left - 1, out);
+      }
+    } else {
+      (*out)[name].push_back(t->object.literal);
+    }
+  }
+}
+
+// Collapses a multi-valued attribute to a single Value.
+Value CollapseValues(const std::vector<Value>& values,
+                     AggregateFunction agg) {
+  if (values.size() == 1) return values[0];
+  bool all_numeric = true;
+  for (const auto& v : values) {
+    if (!v.is_numeric()) {
+      all_numeric = false;
+      break;
+    }
+  }
+  if (all_numeric) {
+    std::vector<double> nums;
+    nums.reserve(values.size());
+    for (const auto& v : values) nums.push_back(v.AsDouble());
+    Result<double> r = ComputeAggregate(agg, nums);
+    if (r.ok()) return Value::Double(*r);
+    return Value::Null();
+  }
+  // Categorical one-to-many: deterministic representative.
+  std::vector<std::string> texts;
+  texts.reserve(values.size());
+  for (const auto& v : values) texts.push_back(v.ToString());
+  std::sort(texts.begin(), texts.end());
+  return Value::String(texts.front());
+}
+
+}  // namespace
+
+Result<Table> ExtractAttributes(const Table& table, const std::string& column,
+                                const TripleStore& store,
+                                const ExtractionOptions& options,
+                                ExtractionStats* stats) {
+  MESA_ASSIGN_OR_RETURN(const Column* keys, table.ColumnByName(column));
+  if (keys->type() != DataType::kString) {
+    return Status::InvalidArgument(
+        "extraction column must be string-valued: " + column);
+  }
+
+  // Distinct non-null key values, in sorted order for determinism.
+  std::set<std::string> distinct;
+  for (size_t r = 0; r < keys->size(); ++r) {
+    if (keys->IsValid(r)) distinct.insert(keys->StringAt(r));
+  }
+
+  ExtractionStats local_stats;
+  local_stats.values_total = distinct.size();
+
+  EntityLinker linker(&store, options.linker);
+
+  // Per key value: attribute -> collapsed value.
+  std::vector<std::pair<std::string, std::map<std::string, Value>>> rows;
+  std::set<std::string> attr_names;
+  for (const std::string& key : distinct) {
+    LinkResult link = linker.Link(key);
+    if (!link.linked()) {
+      if (link.outcome == LinkOutcome::kAmbiguous) {
+        ++local_stats.values_ambiguous;
+      } else {
+        ++local_stats.values_not_found;
+      }
+      rows.emplace_back(key, std::map<std::string, Value>{});
+      continue;
+    }
+    ++local_stats.values_linked;
+    std::map<std::string, std::vector<Value>> props;
+    GatherProperties(store, *link.entity, "", options.hops, &props);
+    std::map<std::string, Value> collapsed;
+    for (auto& [name, values] : props) {
+      Value v = CollapseValues(values, options.one_to_many_agg);
+      if (!v.is_null()) {
+        collapsed.emplace(name, std::move(v));
+        attr_names.insert(name);
+      }
+    }
+    rows.emplace_back(key, std::move(collapsed));
+  }
+  local_stats.attributes_extracted = attr_names.size();
+  if (stats != nullptr) *stats = local_stats;
+
+  // Decide each attribute's type: double if every observed value is
+  // numeric, else string.
+  std::map<std::string, DataType> attr_types;
+  for (const std::string& name : attr_names) {
+    bool all_numeric = true;
+    for (const auto& [key, attrs] : rows) {
+      (void)key;
+      auto it = attrs.find(name);
+      if (it != attrs.end() && !it->second.is_numeric()) {
+        all_numeric = false;
+        break;
+      }
+    }
+    attr_types[name] = all_numeric ? DataType::kDouble : DataType::kString;
+  }
+
+  // Assemble the universal relation.
+  Schema schema;
+  MESA_RETURN_IF_ERROR(schema.AddField({column, DataType::kString}));
+  for (const auto& [name, type] : attr_types) {
+    MESA_RETURN_IF_ERROR(schema.AddField({name, type}));
+  }
+  std::vector<Column> cols;
+  cols.emplace_back(DataType::kString);
+  for (const auto& [name, type] : attr_types) {
+    (void)name;
+    cols.emplace_back(type);
+  }
+  for (const auto& [key, attrs] : rows) {
+    cols[0].AppendString(key);
+    size_t c = 1;
+    for (const auto& [name, type] : attr_types) {
+      auto it = attrs.find(name);
+      if (it == attrs.end()) {
+        cols[c].AppendNull();
+      } else if (type == DataType::kDouble) {
+        cols[c].AppendDouble(it->second.AsDouble());
+      } else {
+        cols[c].AppendString(it->second.ToString());
+      }
+      ++c;
+    }
+  }
+  return Table::Make(std::move(schema), std::move(cols));
+}
+
+Result<AugmentResult> AugmentTableFromKg(
+    const Table& table, const std::vector<std::string>& columns,
+    const TripleStore& store, const ExtractionOptions& options) {
+  AugmentResult out;
+  out.table = table;
+  for (const std::string& column : columns) {
+    ExtractionStats stats;
+    MESA_ASSIGN_OR_RETURN(
+        Table extracted, ExtractAttributes(table, column, store, options, &stats));
+    out.stats.values_total += stats.values_total;
+    out.stats.values_linked += stats.values_linked;
+    out.stats.values_ambiguous += stats.values_ambiguous;
+    out.stats.values_not_found += stats.values_not_found;
+
+    // Rename collisions with a column-specific prefix before joining.
+    std::vector<std::string> attr_names;
+    for (size_t c = 1; c < extracted.num_columns(); ++c) {
+      attr_names.push_back(extracted.schema().field(c).name);
+    }
+    Schema renamed_schema;
+    std::vector<Column> renamed_cols;
+    MESA_RETURN_IF_ERROR(
+        renamed_schema.AddField({column, DataType::kString}));
+    renamed_cols.push_back(extracted.column(0));
+    std::vector<std::string> final_names;
+    for (size_t c = 1; c < extracted.num_columns(); ++c) {
+      std::string name = extracted.schema().field(c).name;
+      if (out.table.schema().Contains(name) ||
+          std::find(out.extracted_columns.begin(),
+                    out.extracted_columns.end(),
+                    name) != out.extracted_columns.end()) {
+        name = column + "." + name;
+      }
+      MESA_RETURN_IF_ERROR(renamed_schema.AddField(
+          {name, extracted.schema().field(c).type}));
+      renamed_cols.push_back(extracted.column(c));
+      final_names.push_back(name);
+    }
+    MESA_ASSIGN_OR_RETURN(
+        Table renamed,
+        Table::Make(std::move(renamed_schema), std::move(renamed_cols)));
+    MESA_ASSIGN_OR_RETURN(
+        out.table, HashJoin(out.table, column, renamed, column,
+                            {JoinType::kLeft, column + "."}));
+    for (auto& name : final_names) {
+      out.extracted_columns.push_back(std::move(name));
+    }
+    out.entity_tables.push_back(std::move(renamed));
+  }
+  out.stats.attributes_extracted = out.extracted_columns.size();
+  return out;
+}
+
+}  // namespace mesa

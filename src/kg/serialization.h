@@ -1,0 +1,34 @@
+#ifndef MESA_KG_SERIALIZATION_H_
+#define MESA_KG_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "kg/triple_store.h"
+
+namespace mesa {
+
+/// Serialises a TripleStore to the "mesa-kg v1" text format — a simple
+/// line-oriented encoding in the spirit of N-Triples, tab-separated so
+/// labels and literals may contain spaces:
+///
+///   # mesa-kg v1
+///   E <entity-id> <type> \t <label>
+///   A <entity-id> \t <alias>
+///   L <entity-id> \t <predicate> \t <typed-literal>
+///   G <entity-id> \t <predicate> \t <object-entity-id>
+///
+/// Typed literals are "d:<double>", "i:<int64>", "b:0|1", or "s:<string>".
+/// Entity ids are the store's dense ids, so a round trip preserves them.
+std::string WriteKgString(const TripleStore& store);
+
+/// Parses the mesa-kg v1 format. Lines starting with '#' are comments.
+Result<TripleStore> ReadKgString(const std::string& text);
+
+/// File variants.
+Status WriteKgFile(const TripleStore& store, const std::string& path);
+Result<TripleStore> ReadKgFile(const std::string& path);
+
+}  // namespace mesa
+
+#endif  // MESA_KG_SERIALIZATION_H_

@@ -1,0 +1,60 @@
+#ifndef MESA_KG_SYNTHETIC_KG_H_
+#define MESA_KG_SYNTHETIC_KG_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "kg/triple_store.h"
+
+namespace mesa {
+
+/// Helper for building DBpedia-shaped synthetic knowledge graphs (the
+/// paper's external source, per the DESIGN.md substitution). It layers the
+/// quirks that matter to MESA on top of a plain TripleStore:
+///   - controlled sparsity (each property is present with some probability,
+///     reproducing the 37–73% missing rates of Section 5.2);
+///   - uninformative predicates that offline pruning must drop: a constant
+///     `type` property, a unique high-entropy `wikiID`, and pure-noise
+///     numeric properties;
+///   - correlated "<name>_rank" twins of numeric properties (HDI vs HDI
+///     Rank), the redundancy that Min-Redundancy exists to handle.
+class SyntheticKgBuilder {
+ public:
+  SyntheticKgBuilder(TripleStore* store, uint64_t seed);
+
+  TripleStore* store() { return store_; }
+  Rng& rng() { return rng_; }
+
+  /// Returns the entity with this label, creating it if needed.
+  EntityId EnsureEntity(const std::string& label, const std::string& type);
+
+  /// Adds a numeric literal with probability (1 - missing_rate).
+  void AddNumeric(EntityId entity, const std::string& predicate, double value,
+                  double missing_rate = 0.0);
+
+  /// Adds a categorical literal with probability (1 - missing_rate).
+  void AddCategorical(EntityId entity, const std::string& predicate,
+                      const std::string& value, double missing_rate = 0.0);
+
+  /// Adds both `<predicate>` and a negatively correlated
+  /// `<predicate>_rank` (dense ranks are assigned by the caller; this
+  /// overload derives a noisy pseudo-rank from the value scale).
+  void AddNumericWithRank(EntityId entity, const std::string& predicate,
+                          double value, double rank,
+                          double missing_rate = 0.0);
+
+  /// Adds the standard uninformative properties: constant `type`, unique
+  /// `wikiID`, plus `noise_count` pure-noise numeric predicates
+  /// ("noise_attr_<i>") drawn independently of everything else.
+  void AddNoiseProperties(EntityId entity, const std::string& type_label,
+                          size_t noise_count, double missing_rate = 0.2);
+
+ private:
+  TripleStore* store_;
+  Rng rng_;
+  uint32_t next_wiki_id_ = 100000;
+};
+
+}  // namespace mesa
+
+#endif  // MESA_KG_SYNTHETIC_KG_H_

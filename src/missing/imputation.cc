@@ -1,0 +1,60 @@
+#include "missing/imputation.h"
+
+#include <map>
+
+namespace mesa {
+
+Result<size_t> ImputeColumn(Table* table, const std::string& column,
+                            ImputationStrategy strategy, Rng* rng) {
+  MESA_ASSIGN_OR_RETURN(Column* col, table->MutableColumnByName(column));
+  if (col->null_count() == 0) return static_cast<size_t>(0);
+  std::vector<size_t> observed;
+  for (size_t i = 0; i < col->size(); ++i) {
+    if (col->IsValid(i)) observed.push_back(i);
+  }
+  if (observed.empty()) {
+    return Status::FailedPrecondition("cannot impute fully null column: " +
+                                      column);
+  }
+
+  Value fill;
+  if (strategy == ImputationStrategy::kMeanOrMode) {
+    if (col->type() == DataType::kString || col->type() == DataType::kBool) {
+      // Mode (ties broken by value order for determinism).
+      std::map<Value, size_t> counts;
+      for (size_t i : observed) ++counts[col->GetValue(i)];
+      size_t best = 0;
+      for (const auto& [v, c] : counts) {
+        if (c > best) {
+          best = c;
+          fill = v;
+        }
+      }
+    } else {
+      double sum = 0.0;
+      for (size_t i : observed) sum += col->NumericAt(i);
+      double mean = sum / static_cast<double>(observed.size());
+      fill = col->type() == DataType::kInt64
+                 ? Value::Int(static_cast<int64_t>(mean))
+                 : Value::Double(mean);
+    }
+  }
+
+  size_t imputed = 0;
+  for (size_t i = 0; i < col->size(); ++i) {
+    if (col->IsValid(i)) continue;
+    Value v = fill;
+    if (strategy == ImputationStrategy::kHotDeck) {
+      if (rng == nullptr) {
+        return Status::InvalidArgument("hot-deck imputation needs an Rng");
+      }
+      size_t donor = observed[rng->NextBelow(observed.size())];
+      v = col->GetValue(donor);
+    }
+    MESA_RETURN_IF_ERROR(col->Set(i, v));
+    ++imputed;
+  }
+  return imputed;
+}
+
+}  // namespace mesa

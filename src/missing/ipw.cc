@@ -1,0 +1,98 @@
+#include "missing/ipw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "missing/mask.h"
+#include "query/group_by.h"
+
+namespace mesa {
+
+Result<IpwWeights> ComputeIpwWeights(const Table& table,
+                                     const std::string& attribute,
+                                     const IpwOptions& options) {
+  if (options.covariates.empty()) {
+    return Status::InvalidArgument("IPW needs at least one covariate");
+  }
+  MESA_ASSIGN_OR_RETURN(const Column* attr, table.ColumnByName(attribute));
+  const size_t n = attr->size();
+
+  std::vector<uint8_t> r = MissingnessIndicator(*attr);
+  size_t observed = 0;
+  for (uint8_t v : r) observed += v;
+  IpwWeights out;
+  out.marginal_rate = n == 0 ? 0.0 : static_cast<double>(observed) / n;
+  out.weights.assign(n, 0.0);
+  if (observed == 0 || observed == n) {
+    // Nothing to reweight: all-missing stays all-zero; fully observed gets
+    // unit weights.
+    if (observed == n) out.weights.assign(n, 1.0);
+    out.model_converged = true;
+    return out;
+  }
+
+  // Build the design matrix. Numeric covariates enter as values; string /
+  // bool covariates enter as dense codes. Null covariate cells take the
+  // column mean so the propensity model stays defined everywhere.
+  std::vector<std::vector<double>> x(n,
+                                     std::vector<double>(options.covariates.size()));
+  for (size_t c = 0; c < options.covariates.size(); ++c) {
+    const std::string& name = options.covariates[c];
+    MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
+    std::vector<double> raw(n, 0.0);
+    std::vector<uint8_t> ok(n, 0);
+    if (col->type() == DataType::kString) {
+      MESA_ASSIGN_OR_RETURN(std::vector<int32_t> codes,
+                            EncodeGroups(table, name, nullptr));
+      for (size_t i = 0; i < n; ++i) {
+        if (codes[i] >= 0) {
+          raw[i] = static_cast<double>(codes[i]);
+          ok[i] = 1;
+        }
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (col->IsValid(i)) {
+          raw[i] = col->NumericAt(i);
+          ok[i] = 1;
+        }
+      }
+    }
+    double mean = 0.0;
+    size_t cnt = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (ok[i]) {
+        mean += raw[i];
+        ++cnt;
+      }
+    }
+    mean = cnt > 0 ? mean / static_cast<double>(cnt) : 0.0;
+    // Standardise for solver conditioning.
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (ok[i]) {
+        double d = raw[i] - mean;
+        var += d * d;
+      }
+    }
+    double sd = cnt > 1 ? std::sqrt(var / static_cast<double>(cnt - 1)) : 1.0;
+    if (sd <= 0.0) sd = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      x[i][c] = ok[i] ? (raw[i] - mean) / sd : 0.0;
+    }
+  }
+
+  MESA_ASSIGN_OR_RETURN(LogisticModel model,
+                        FitLogistic(x, r, options.logistic));
+  out.model_converged = model.converged();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!r[i]) continue;  // incomplete case: weight 0
+    double p = model.PredictProbability(x[i]);
+    p = std::clamp(p, options.clip, 1.0 - options.clip);
+    out.weights[i] = out.marginal_rate / p;
+  }
+  return out;
+}
+
+}  // namespace mesa

@@ -1,0 +1,47 @@
+#ifndef MESA_MISSING_IPW_H_
+#define MESA_MISSING_IPW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/logistic.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Options for inverse-probability-weight estimation.
+struct IpwOptions {
+  /// Covariate columns used to model P(R_E = 1 | X). They must be fully
+  /// observed (columns from the base dataset, per Section 3.2: "Data
+  /// available for this are the values of the attributes in D"). Non-
+  /// numeric covariates are entered as dense integer codes.
+  std::vector<std::string> covariates;
+  /// Propensities are clipped to [clip, 1 - clip] before inversion so a few
+  /// extreme predictions cannot dominate the weighted estimator.
+  double clip = 0.01;
+  LogisticOptions logistic;
+};
+
+/// Result of weight estimation for one attribute.
+struct IpwWeights {
+  /// Per-row weight: P(R_E=1) / P̂(R_E=1 | X_i) for complete cases, 0 for
+  /// rows where the attribute is missing. Plug these into the weighted
+  /// CMI/MI estimators.
+  std::vector<double> weights;
+  /// Overall observation rate P(R_E = 1).
+  double marginal_rate = 0.0;
+  bool model_converged = false;
+};
+
+/// Computes IPW weights for `attribute` by fitting a logistic regression of
+/// its missingness indicator on the covariates (the paper's pre-processing
+/// step). Rows where a covariate is itself null contribute a neutral
+/// feature value (covariate mean), keeping the fit defined on all rows.
+Result<IpwWeights> ComputeIpwWeights(const Table& table,
+                                     const std::string& attribute,
+                                     const IpwOptions& options);
+
+}  // namespace mesa
+
+#endif  // MESA_MISSING_IPW_H_

@@ -1,0 +1,103 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mesa {
+
+const char* AggregateFunctionName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kAvg:
+      return "avg";
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kCount:
+      return "count";
+    case AggregateFunction::kMin:
+      return "min";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kMedian:
+      return "median";
+    case AggregateFunction::kStdDev:
+      return "stddev";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> ParseAggregateFunction(const std::string& name) {
+  std::string n = ToLower(StripWhitespace(name).data() == nullptr
+                              ? name
+                              : std::string(StripWhitespace(name)));
+  if (n == "avg" || n == "mean" || n == "average") {
+    return AggregateFunction::kAvg;
+  }
+  if (n == "sum") return AggregateFunction::kSum;
+  if (n == "count") return AggregateFunction::kCount;
+  if (n == "min") return AggregateFunction::kMin;
+  if (n == "max") return AggregateFunction::kMax;
+  if (n == "median") return AggregateFunction::kMedian;
+  if (n == "stddev" || n == "std" || n == "stdev") {
+    return AggregateFunction::kStdDev;
+  }
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+Result<double> ComputeAggregate(AggregateFunction f,
+                                const std::vector<double>& values) {
+  AggregateAccumulator acc(f);
+  for (double v : values) acc.Add(v);
+  return acc.Finalize();
+}
+
+AggregateAccumulator::AggregateAccumulator(AggregateFunction f) : f_(f) {}
+
+void AggregateAccumulator::Add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  sum_sq_ += v * v;
+  ++count_;
+  if (f_ == AggregateFunction::kMedian) buffer_.push_back(v);
+}
+
+Result<double> AggregateAccumulator::Finalize() const {
+  if (f_ == AggregateFunction::kCount) return static_cast<double>(count_);
+  if (count_ == 0) {
+    return Status::InvalidArgument("aggregate over empty group");
+  }
+  switch (f_) {
+    case AggregateFunction::kAvg:
+      return sum_ / static_cast<double>(count_);
+    case AggregateFunction::kSum:
+      return sum_;
+    case AggregateFunction::kMin:
+      return min_;
+    case AggregateFunction::kMax:
+      return max_;
+    case AggregateFunction::kStdDev: {
+      double n = static_cast<double>(count_);
+      double var = sum_sq_ / n - (sum_ / n) * (sum_ / n);
+      return std::sqrt(std::max(0.0, var));
+    }
+    case AggregateFunction::kMedian: {
+      std::vector<double> v = buffer_;
+      std::sort(v.begin(), v.end());
+      size_t mid = v.size() / 2;
+      if (v.size() % 2 == 1) return v[mid];
+      return 0.5 * (v[mid - 1] + v[mid]);
+    }
+    case AggregateFunction::kCount:
+      break;
+  }
+  return Status::Internal("bad aggregate function");
+}
+
+}  // namespace mesa

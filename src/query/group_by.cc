@@ -1,0 +1,114 @@
+#include "query/group_by.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mesa {
+
+Result<Table> GroupByResult::ToTable(const std::string& group_column,
+                                     const std::string& agg_column) const {
+  // Group values can be any type; infer from the first group.
+  DataType group_type = DataType::kString;
+  if (!groups.empty()) {
+    group_type = groups[0].group.type();
+    if (group_type == DataType::kNull) group_type = DataType::kString;
+  }
+  Schema schema;
+  MESA_RETURN_IF_ERROR(schema.AddField({group_column, group_type}));
+  MESA_RETURN_IF_ERROR(schema.AddField({agg_column, DataType::kDouble}));
+  Column gcol(group_type);
+  Column acol(DataType::kDouble);
+  for (const auto& g : groups) {
+    MESA_RETURN_IF_ERROR(gcol.Append(g.group));
+    acol.AppendDouble(g.aggregate);
+  }
+  return Table::Make(std::move(schema), {std::move(gcol), std::move(acol)});
+}
+
+Result<GroupByResult> GroupByAggregate(const Table& table,
+                                       const std::string& group_col,
+                                       const std::string& outcome_col,
+                                       AggregateFunction agg,
+                                       const Conjunction& context) {
+  return GroupByAggregate(table, std::vector<std::string>{group_col},
+                          outcome_col, agg, context);
+}
+
+Result<GroupByResult> GroupByAggregate(
+    const Table& table, const std::vector<std::string>& group_cols,
+    const std::string& outcome_col, AggregateFunction agg,
+    const Conjunction& context) {
+  if (group_cols.empty()) {
+    return Status::InvalidArgument("need at least one grouping column");
+  }
+  std::vector<const Column*> gcols;
+  gcols.reserve(group_cols.size());
+  for (const auto& name : group_cols) {
+    MESA_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
+    gcols.push_back(c);
+  }
+  MESA_ASSIGN_OR_RETURN(const Column* ocol, table.ColumnByName(outcome_col));
+  if (ocol->type() == DataType::kString) {
+    return Status::InvalidArgument("outcome column must be numeric: " +
+                                   outcome_col);
+  }
+  MESA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        context.EvaluateMask(table));
+
+  // std::map keyed by the value tuple gives deterministic (sorted) order.
+  std::map<std::vector<Value>, AggregateAccumulator> accs;
+  size_t input_rows = 0;
+  std::vector<Value> key(gcols.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!mask[r]) continue;
+    ++input_rows;
+    if (ocol->IsNull(r)) continue;
+    bool null_key = false;
+    for (size_t c = 0; c < gcols.size(); ++c) {
+      if (gcols[c]->IsNull(r)) {
+        null_key = true;
+        break;
+      }
+      key[c] = gcols[c]->GetValue(r);
+    }
+    if (null_key) continue;
+    auto it = accs.find(key);
+    if (it == accs.end()) {
+      it = accs.emplace(key, AggregateAccumulator(agg)).first;
+    }
+    it->second.Add(ocol->NumericAt(r));
+  }
+
+  GroupByResult out;
+  out.input_rows = input_rows;
+  out.groups.reserve(accs.size());
+  for (const auto& [k, acc] : accs) {
+    MESA_ASSIGN_OR_RETURN(double v, acc.Finalize());
+    GroupResult g;
+    g.group = k.front();
+    g.values = k;
+    g.aggregate = v;
+    g.count = acc.count();
+    out.groups.push_back(std::move(g));
+  }
+  return out;
+}
+
+Result<std::vector<int32_t>> EncodeGroups(const Table& table,
+                                          const std::string& column,
+                                          std::vector<Value>* group_values) {
+  MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  std::unordered_map<Value, int32_t, ValueHash> ids;
+  std::vector<int32_t> codes(table.num_rows(), -1);
+  if (group_values != nullptr) group_values->clear();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (col->IsNull(r)) continue;
+    Value v = col->GetValue(r);
+    auto [it, inserted] = ids.emplace(v, static_cast<int32_t>(ids.size()));
+    if (inserted && group_values != nullptr) group_values->push_back(v);
+    codes[r] = it->second;
+  }
+  return codes;
+}
+
+}  // namespace mesa

@@ -1,0 +1,72 @@
+#include "query/join.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const Table& right, const std::string& right_key,
+                       const JoinOptions& options) {
+  MESA_ASSIGN_OR_RETURN(const Column* lkey, left.ColumnByName(left_key));
+  MESA_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
+
+  // Build: right key -> row (first occurrence wins).
+  std::unordered_map<Value, size_t, ValueHash> index;
+  index.reserve(right.num_rows());
+  size_t duplicate_keys = 0;
+  for (size_t r = 0; r < right.num_rows(); ++r) {
+    if (rkey->IsNull(r)) continue;
+    auto [it, inserted] = index.emplace(rkey->GetValue(r), r);
+    (void)it;
+    if (!inserted) ++duplicate_keys;
+  }
+  if (duplicate_keys > 0) {
+    MESA_LOG(Warning) << "HashJoin: " << duplicate_keys
+                      << " duplicate right-side keys ignored";
+  }
+
+  // Probe.
+  std::vector<size_t> left_rows;
+  std::vector<int64_t> right_rows;  // -1 = unmatched (left join)
+  left_rows.reserve(left.num_rows());
+  right_rows.reserve(left.num_rows());
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    int64_t match = -1;
+    if (!lkey->IsNull(r)) {
+      auto it = index.find(lkey->GetValue(r));
+      if (it != index.end()) match = static_cast<int64_t>(it->second);
+    }
+    if (match < 0 && options.type == JoinType::kInner) continue;
+    left_rows.push_back(r);
+    right_rows.push_back(match);
+  }
+
+  // Assemble output: all left columns, then right columns minus its key.
+  Table out = left.TakeRows(left_rows);
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    const Field& f = right.schema().field(c);
+    if (f.name == right_key) continue;
+    std::string name = f.name;
+    if (out.schema().Contains(name)) name = options.collision_prefix + name;
+    if (out.schema().Contains(name)) {
+      return Status::AlreadyExists("column collision even after prefix: " +
+                                   name);
+    }
+    const Column& src = right.column(c);
+    Column col(f.type);
+    for (int64_t rr : right_rows) {
+      if (rr < 0 || src.IsNull(static_cast<size_t>(rr))) {
+        col.AppendNull();
+      } else {
+        Status st = col.Append(src.GetValue(static_cast<size_t>(rr)));
+        MESA_CHECK(st.ok());
+      }
+    }
+    MESA_RETURN_IF_ERROR(out.AddColumn({name, f.type}, std::move(col)));
+  }
+  return out;
+}
+
+}  // namespace mesa

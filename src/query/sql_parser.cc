@@ -1,0 +1,335 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace mesa {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kString,
+  kNumber,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier / literal payload / symbol
+  size_t pos = 0;     // byte offset for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const size_t n = sql_.size();
+    while (i < n) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      size_t start = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        while (i < n && (std::isalnum(static_cast<unsigned char>(sql_[i])) ||
+                         sql_[i] == '_')) {
+          ++i;
+        }
+        out.push_back({TokenKind::kIdent, sql_.substr(start, i - start), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < n &&
+                  std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        ++i;
+        while (i < n && (std::isdigit(static_cast<unsigned char>(sql_[i])) ||
+                         sql_[i] == '.' || sql_[i] == 'e' || sql_[i] == 'E' ||
+                         ((sql_[i] == '+' || sql_[i] == '-') &&
+                          (sql_[i - 1] == 'e' || sql_[i - 1] == 'E')))) {
+          ++i;
+        }
+        out.push_back({TokenKind::kNumber, sql_.substr(start, i - start), start});
+      } else if (c == '\'') {
+        std::string text;
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (sql_[i] == '\'') {
+            if (i + 1 < n && sql_[i + 1] == '\'') {  // escaped quote
+              text += '\'';
+              i += 2;
+            } else {
+              ++i;
+              closed = true;
+              break;
+            }
+          } else {
+            text += sql_[i++];
+          }
+        }
+        if (!closed) {
+          return Status::InvalidArgument("unterminated string literal at byte " +
+                                         std::to_string(start));
+        }
+        out.push_back({TokenKind::kString, std::move(text), start});
+      } else if (c == '"') {
+        std::string text;
+        ++i;
+        bool closed = false;
+        while (i < n) {
+          if (sql_[i] == '"') {
+            ++i;
+            closed = true;
+            break;
+          }
+          text += sql_[i++];
+        }
+        if (!closed) {
+          return Status::InvalidArgument(
+              "unterminated quoted identifier at byte " +
+              std::to_string(start));
+        }
+        out.push_back({TokenKind::kIdent, std::move(text), start});
+      } else if (c == '<' || c == '>' || c == '!' || c == '=') {
+        std::string sym(1, c);
+        ++i;
+        if (i < n && (sql_[i] == '=' || (c == '<' && sql_[i] == '>'))) {
+          sym += sql_[i++];
+        }
+        out.push_back({TokenKind::kSymbol, std::move(sym), start});
+      } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == ';') {
+        out.push_back({TokenKind::kSymbol, std::string(1, c), start});
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at byte " +
+                                       std::to_string(start));
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", n});
+    return out;
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> Parse() {
+    QuerySpec spec;
+    MESA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+
+    // Select items: one or more grouping columns plus exactly one
+    // aggregate, in any order.
+    bool saw_agg = false;
+    std::vector<std::string> plain_cols;
+    for (;;) {
+      MESA_ASSIGN_OR_RETURN(Token ident, ExpectIdent());
+      if (PeekSymbol("(")) {
+        if (saw_agg) return Error("multiple aggregates in SELECT list");
+        MESA_ASSIGN_OR_RETURN(spec.aggregate,
+                              ParseAggregateFunction(ident.text));
+        MESA_RETURN_IF_ERROR(ExpectSymbol("("));
+        MESA_ASSIGN_OR_RETURN(Token col, ExpectIdent());
+        spec.outcome = col.text;
+        MESA_RETURN_IF_ERROR(ExpectSymbol(")"));
+        saw_agg = true;
+      } else {
+        plain_cols.push_back(ident.text);
+      }
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (plain_cols.empty() || !saw_agg) {
+      return Error("SELECT list must contain the grouping column(s) and one "
+                   "aggregate");
+    }
+
+    MESA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    MESA_ASSIGN_OR_RETURN(Token table, ExpectIdent());
+    spec.table_name = table.text;
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      for (;;) {
+        MESA_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+        spec.context.Add(std::move(cond));
+        if (PeekKeyword("AND")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+
+    MESA_RETURN_IF_ERROR(ExpectKeyword("GROUP"));
+    MESA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    std::vector<std::string> group_cols;
+    for (;;) {
+      MESA_ASSIGN_OR_RETURN(Token group_col, ExpectIdent());
+      group_cols.push_back(group_col.text);
+      if (PeekSymbol(",")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (group_cols != plain_cols) {
+      return Error("GROUP BY columns must match the SELECT grouping "
+                   "columns (same order)");
+    }
+    spec.exposure = group_cols.front();
+    spec.secondary_exposures.assign(group_cols.begin() + 1, group_cols.end());
+    if (PeekSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing tokens after GROUP BY");
+    }
+    return spec;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (near byte " +
+                                   std::to_string(Peek().pos) + ")");
+  }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return Error(std::string("expected ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!PeekSymbol(sym)) return Error(std::string("expected '") + sym + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Token> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected identifier");
+    Token t = Peek();
+    Advance();
+    return t;
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kString: {
+        Value v = Value::String(t.text);
+        Advance();
+        return v;
+      }
+      case TokenKind::kNumber: {
+        int64_t iv;
+        if (ParseInt64(t.text, &iv)) {
+          Advance();
+          return Value::Int(iv);
+        }
+        double dv;
+        if (ParseDouble(t.text, &dv)) {
+          Advance();
+          return Value::Double(dv);
+        }
+        return Error("bad numeric literal '" + t.text + "'");
+      }
+      case TokenKind::kIdent:
+        if (EqualsIgnoreCase(t.text, "true")) {
+          Advance();
+          return Value::Bool(true);
+        }
+        if (EqualsIgnoreCase(t.text, "false")) {
+          Advance();
+          return Value::Bool(false);
+        }
+        // Bare identifiers in literal position are treated as strings, so
+        // `WHERE Continent = Europe` (as written in the paper) parses.
+        {
+          Value v = Value::String(t.text);
+          Advance();
+          return v;
+        }
+      default:
+        return Error("expected literal");
+    }
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    MESA_ASSIGN_OR_RETURN(Token col, ExpectIdent());
+    cond.column = col.text;
+    if (PeekKeyword("IN")) {
+      Advance();
+      cond.op = CompareOp::kIn;
+      MESA_RETURN_IF_ERROR(ExpectSymbol("("));
+      for (;;) {
+        MESA_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        cond.in_values.push_back(std::move(v));
+        if (PeekSymbol(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      MESA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return cond;
+    }
+    if (Peek().kind != TokenKind::kSymbol) return Error("expected operator");
+    const std::string& sym = Peek().text;
+    if (sym == "=") {
+      cond.op = CompareOp::kEq;
+    } else if (sym == "!=" || sym == "<>") {
+      cond.op = CompareOp::kNe;
+    } else if (sym == "<") {
+      cond.op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      cond.op = CompareOp::kLe;
+    } else if (sym == ">") {
+      cond.op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      cond.op = CompareOp::kGe;
+    } else {
+      return Error("unknown operator '" + sym + "'");
+    }
+    Advance();
+    MESA_ASSIGN_OR_RETURN(cond.value, ParseLiteral());
+    return cond;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const std::string& sql) {
+  Lexer lexer(sql);
+  MESA_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace mesa

@@ -1,0 +1,30 @@
+#ifndef MESA_QUERY_SQL_PARSER_H_
+#define MESA_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/query_spec.h"
+
+namespace mesa {
+
+/// Parses the supported aggregate-query dialect into a QuerySpec:
+///
+///   SELECT <exposure>, <agg>(<outcome>)
+///   FROM <table>
+///   [WHERE <col> <op> <literal> [AND ...] | <col> IN (<lit>, ...)]
+///   GROUP BY <exposure>
+///
+/// - Identifiers are bare words or "double-quoted"; case is preserved.
+/// - String literals use single quotes; numbers are int64 or double;
+///   true/false are bool literals.
+/// - Operators: = != <> < <= > >=, plus IN (...).
+/// - Keywords are case-insensitive.
+/// The SELECT list must name the GROUP BY attribute (the exposure) and one
+/// aggregate (in either order). Anything else is a parse error with a
+/// position-annotated message.
+Result<QuerySpec> ParseQuery(const std::string& sql);
+
+}  // namespace mesa
+
+#endif  // MESA_QUERY_SQL_PARSER_H_

@@ -1,0 +1,24 @@
+#ifndef MESA_STATS_CORRELATION_H_
+#define MESA_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mesa {
+
+/// Pearson's r. Error if lengths differ, n < 2, or either sample is
+/// constant.
+Result<double> PearsonCorrelation(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+/// Spearman's rank correlation (Pearson over mid-ranks, ties averaged).
+Result<double> SpearmanCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Mid-ranks of a sample (1-based, ties get the average rank).
+std::vector<double> Ranks(const std::vector<double>& values);
+
+}  // namespace mesa
+
+#endif  // MESA_STATS_CORRELATION_H_

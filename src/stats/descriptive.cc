@@ -1,0 +1,85 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesa {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - s.mean;
+    ss += d * d;
+  }
+  s.variance = ss / static_cast<double>(s.count);
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+Result<double> Mean(const std::vector<double>& values) {
+  if (values.empty()) return Status::InvalidArgument("mean of empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Result<double> SampleVariance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return Status::InvalidArgument("sample variance needs n >= 2");
+  }
+  MESA_ASSIGN_OR_RETURN(double m, Mean(values));
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("quantile of empty sample");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile q must be in [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = static_cast<size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Result<double> WeightedMean(const std::vector<double>& values,
+                            const std::vector<double>& weights) {
+  if (values.size() != weights.size()) {
+    return Status::InvalidArgument("values/weights length mismatch");
+  }
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] < 0.0) {
+      return Status::InvalidArgument("negative weight");
+    }
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  if (den <= 0.0) {
+    return Status::InvalidArgument("non-positive total weight");
+  }
+  return num / den;
+}
+
+}  // namespace mesa

@@ -1,0 +1,41 @@
+#ifndef MESA_STATS_DESCRIPTIVE_H_
+#define MESA_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mesa {
+
+/// Summary statistics of a numeric sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance (divides by n)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics. Empty input yields a zeroed Summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; error on empty input.
+Result<double> Mean(const std::vector<double>& values);
+
+/// Sample variance (divides by n-1); error when n < 2.
+Result<double> SampleVariance(const std::vector<double>& values);
+
+/// The q-quantile (0 <= q <= 1) by linear interpolation of the sorted
+/// sample; error on empty input.
+Result<double> Quantile(std::vector<double> values, double q);
+
+/// Mean of values weighted by w (both same length, weights non-negative,
+/// positive total). Used by the IPW estimators.
+Result<double> WeightedMean(const std::vector<double>& values,
+                            const std::vector<double>& weights);
+
+}  // namespace mesa
+
+#endif  // MESA_STATS_DESCRIPTIVE_H_

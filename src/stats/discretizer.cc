@@ -1,0 +1,211 @@
+#include "stats/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+namespace {
+
+std::string FormatRange(double lo, double hi) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "[%.4g, %.4g)", lo, hi);
+  return buf;
+}
+
+// Categorical coding: one code per distinct value, sorted for determinism.
+Discretized CodeCategorical(const std::vector<Value>& cells) {
+  std::map<Value, int32_t> codes;
+  for (const auto& v : cells) {
+    if (!v.is_null()) codes.emplace(v, 0);
+  }
+  int32_t next = 0;
+  Discretized out;
+  for (auto& [value, code] : codes) {
+    code = next++;
+    out.labels.push_back(value.ToString());
+  }
+  out.cardinality = next;
+  out.codes.reserve(cells.size());
+  for (const auto& v : cells) {
+    if (v.is_null()) {
+      out.codes.push_back(-1);
+    } else {
+      out.codes.push_back(codes.at(v));
+    }
+  }
+  return out;
+}
+
+Discretized BinNumeric(const std::vector<double>& values,
+                       const std::vector<uint8_t>& valid,
+                       const DiscretizerOptions& options) {
+  Discretized out;
+  std::vector<double> present;
+  present.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (valid.empty() || valid[i]) present.push_back(values[i]);
+  }
+  if (present.empty()) {
+    out.codes.assign(values.size(), -1);
+    out.cardinality = 0;
+    return out;
+  }
+
+  // Bin edges: k-1 interior cut points; value v -> first bin whose upper
+  // edge exceeds v.
+  std::vector<double> edges;
+  size_t k = std::max<size_t>(1, options.num_bins);
+  if (options.strategy == BinningStrategy::kEqualWidth) {
+    auto [mn_it, mx_it] = std::minmax_element(present.begin(), present.end());
+    double mn = *mn_it, mx = *mx_it;
+    if (mn == mx) {
+      k = 1;
+    } else {
+      double width = (mx - mn) / static_cast<double>(k);
+      for (size_t i = 1; i < k; ++i) edges.push_back(mn + width * i);
+    }
+    double lo = mn;
+    for (size_t i = 0; i < k; ++i) {
+      double hi = i + 1 < k ? edges[i] : mx;
+      out.labels.push_back(FormatRange(lo, hi));
+      lo = hi;
+    }
+  } else {
+    std::sort(present.begin(), present.end());
+    std::set<double> cuts;
+    for (size_t i = 1; i < k; ++i) {
+      size_t idx = i * present.size() / k;
+      cuts.insert(present[idx]);
+    }
+    // Drop cut points equal to the minimum (they would create empty bins).
+    cuts.erase(present.front());
+    edges.assign(cuts.begin(), cuts.end());
+    k = edges.size() + 1;
+    double lo = present.front();
+    for (size_t i = 0; i < k; ++i) {
+      double hi = i < edges.size() ? edges[i] : present.back();
+      out.labels.push_back(FormatRange(lo, hi));
+      lo = hi;
+    }
+  }
+
+  out.cardinality = static_cast<int32_t>(k);
+  out.codes.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!valid.empty() && !valid[i]) {
+      out.codes.push_back(-1);
+      continue;
+    }
+    double v = values[i];
+    auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    out.codes.push_back(static_cast<int32_t>(it - edges.begin()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Discretized> DiscretizeColumn(const Table& table,
+                                     const std::string& column,
+                                     const DiscretizerOptions& options) {
+  MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  const size_t n = col->size();
+
+  if (col->type() == DataType::kString) {
+    // Fast path: code string columns without materialising Values. Codes
+    // are assigned in sorted label order for determinism.
+    std::map<std::string_view, int32_t> codes;
+    for (size_t r = 0; r < n; ++r) {
+      if (col->IsValid(r)) codes.emplace(col->StringAt(r), 0);
+    }
+    Discretized out;
+    int32_t next = 0;
+    for (auto& [label, code] : codes) {
+      code = next++;
+      out.labels.emplace_back(label);
+    }
+    out.cardinality = next;
+    out.codes.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      out.codes[r] = col->IsValid(r) ? codes.find(col->StringAt(r))->second
+                                     : -1;
+    }
+    return out;
+  }
+  if (col->type() == DataType::kBool) {
+    std::vector<Value> cells;
+    cells.reserve(n);
+    for (size_t r = 0; r < n; ++r) cells.push_back(col->GetValue(r));
+    return CodeCategorical(cells);
+  }
+
+  // Numeric: check cardinality first.
+  std::set<double> distinct;
+  for (size_t r = 0; r < n && distinct.size() <= options.categorical_threshold;
+       ++r) {
+    if (col->IsValid(r)) distinct.insert(col->NumericAt(r));
+  }
+  if (distinct.size() <= options.categorical_threshold) {
+    // Low-cardinality numeric: direct double coding.
+    std::map<double, int32_t> codes;
+    for (size_t r = 0; r < n; ++r) {
+      if (col->IsValid(r)) codes.emplace(col->NumericAt(r), 0);
+    }
+    Discretized out;
+    int32_t next = 0;
+    for (auto& [v, code] : codes) {
+      code = next++;
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out.labels.push_back(buf);
+    }
+    out.cardinality = next;
+    out.codes.resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      out.codes[r] =
+          col->IsValid(r) ? codes.find(col->NumericAt(r))->second : -1;
+    }
+    return out;
+  }
+
+  std::vector<double> values(n, 0.0);
+  std::vector<uint8_t> valid(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    if (col->IsValid(r)) {
+      values[r] = col->NumericAt(r);
+      valid[r] = 1;
+    }
+  }
+  return BinNumeric(values, valid, options);
+}
+
+Discretized DiscretizeVector(const std::vector<double>& values,
+                             const DiscretizerOptions& options) {
+  std::set<double> distinct(values.begin(), values.end());
+  if (distinct.size() <= options.categorical_threshold) {
+    std::map<double, int32_t> codes;
+    for (double v : distinct) {
+      codes.emplace(v, static_cast<int32_t>(codes.size()));
+    }
+    Discretized out;
+    out.cardinality = static_cast<int32_t>(codes.size());
+    for (const auto& [v, c] : codes) {
+      (void)c;
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out.labels.push_back(buf);
+    }
+    out.codes.reserve(values.size());
+    for (double v : values) out.codes.push_back(codes.at(v));
+    return out;
+  }
+  return BinNumeric(values, {}, options);
+}
+
+}  // namespace mesa

@@ -1,0 +1,152 @@
+#include "stats/ols.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace mesa {
+
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& rhs,
+                   size_t n) {
+  // Decompose A = L L^T in place (lower triangle).
+  for (size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) return false;
+    a[j * n + j] = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / a[j * n + j];
+    }
+  }
+  // Forward substitution L z = rhs.
+  for (size_t i = 0; i < n; ++i) {
+    double s = rhs[i];
+    for (size_t k = 0; k < i; ++k) s -= a[i * n + k] * rhs[k];
+    rhs[i] = s / a[i * n + i];
+  }
+  // Back substitution L^T b = z.
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double s = rhs[i];
+    for (size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * rhs[k];
+    rhs[i] = s / a[i * n + i];
+  }
+  return true;
+}
+
+namespace {
+
+// Inverts SPD matrix A (given already Cholesky-decomposed lower triangle L)
+// by solving for each unit vector. Returns the full inverse, row-major.
+std::vector<double> CholeskyInverse(const std::vector<double>& l, size_t n) {
+  std::vector<double> inv(n * n, 0.0);
+  for (size_t col = 0; col < n; ++col) {
+    std::vector<double> e(n, 0.0);
+    e[col] = 1.0;
+    // Forward.
+    for (size_t i = 0; i < n; ++i) {
+      double s = e[i];
+      for (size_t k = 0; k < i; ++k) s -= l[i * n + k] * e[k];
+      e[i] = s / l[i * n + i];
+    }
+    // Backward.
+    for (size_t ii = n; ii > 0; --ii) {
+      size_t i = ii - 1;
+      double s = e[i];
+      for (size_t k = i + 1; k < n; ++k) s -= l[k * n + i] * e[k];
+      e[i] = s / l[i * n + i];
+    }
+    for (size_t i = 0; i < n; ++i) inv[i * n + col] = e[i];
+  }
+  return inv;
+}
+
+}  // namespace
+
+Result<OlsFit> FitOls(const std::vector<std::vector<double>>& x,
+                      const std::vector<double>& y) {
+  const size_t n = y.size();
+  if (x.size() != n) return Status::InvalidArgument("x/y length mismatch");
+  if (n == 0) return Status::InvalidArgument("empty sample");
+  const size_t k = x[0].size();
+  const size_t p = k + 1;  // + intercept
+  if (n <= p) {
+    return Status::InvalidArgument("need more observations than parameters");
+  }
+  for (const auto& row : x) {
+    if (row.size() != k) return Status::InvalidArgument("ragged design matrix");
+  }
+
+  // Normal equations: (X'X) beta = X'y, with intercept prepended.
+  std::vector<double> xtx(p * p, 0.0);
+  std::vector<double> xty(p, 0.0);
+  auto feature = [&](size_t row, size_t j) -> double {
+    return j == 0 ? 1.0 : x[row][j - 1];
+  };
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < p; ++i) {
+      double fi = feature(r, i);
+      xty[i] += fi * y[r];
+      for (size_t j = i; j < p; ++j) {
+        xtx[i * p + j] += fi * feature(r, j);
+      }
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    for (size_t j = 0; j < i; ++j) xtx[i * p + j] = xtx[j * p + i];
+  }
+  // Tiny ridge jitter stabilises near-collinear designs.
+  double trace = 0.0;
+  for (size_t i = 0; i < p; ++i) trace += xtx[i * p + i];
+  double jitter = 1e-10 * (trace / static_cast<double>(p) + 1.0);
+  for (size_t i = 0; i < p; ++i) xtx[i * p + i] += jitter;
+
+  std::vector<double> chol = xtx;
+  std::vector<double> beta = xty;
+  if (!CholeskySolve(chol, beta, p)) {
+    return Status::InvalidArgument("design matrix is rank deficient");
+  }
+
+  OlsFit fit;
+  fit.n = n;
+  fit.p = p;
+  fit.coefficients = beta;
+
+  // Residuals & SSE.
+  double sse = 0.0, sst = 0.0, ymean = 0.0;
+  for (double v : y) ymean += v;
+  ymean /= static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    double pred = 0.0;
+    for (size_t j = 0; j < p; ++j) pred += beta[j] * feature(r, j);
+    double e = y[r] - pred;
+    sse += e * e;
+    double d = y[r] - ymean;
+    sst += d * d;
+  }
+  double df = static_cast<double>(n - p);
+  fit.residual_variance = sse / df;
+  fit.r_squared = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+
+  // Covariance of beta = sigma^2 (X'X)^{-1}.
+  std::vector<double> inv = CholeskyInverse(chol, p);
+  fit.std_errors.resize(p);
+  fit.t_stats.resize(p);
+  fit.p_values.resize(p);
+  for (size_t j = 0; j < p; ++j) {
+    double var = fit.residual_variance * inv[j * p + j];
+    fit.std_errors[j] = var > 0.0 ? std::sqrt(var) : 0.0;
+    if (fit.std_errors[j] > 0.0) {
+      fit.t_stats[j] = beta[j] / fit.std_errors[j];
+      fit.p_values[j] = StudentTPValueTwoSided(fit.t_stats[j], df);
+    } else {
+      fit.t_stats[j] = 0.0;
+      fit.p_values[j] = 1.0;
+    }
+  }
+  return fit;
+}
+
+}  // namespace mesa

@@ -1,0 +1,37 @@
+#ifndef MESA_STATS_OLS_H_
+#define MESA_STATS_OLS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mesa {
+
+/// Fit summary of an ordinary-least-squares regression y ~ X (an intercept
+/// column is added internally; index 0 of every output refers to it).
+struct OlsFit {
+  std::vector<double> coefficients;  ///< beta, intercept first.
+  std::vector<double> std_errors;    ///< per-coefficient standard errors.
+  std::vector<double> t_stats;       ///< beta / stderr.
+  std::vector<double> p_values;      ///< two-sided, df = n - p.
+  double r_squared = 0.0;
+  double residual_variance = 0.0;    ///< SSE / (n - p)
+  size_t n = 0;                      ///< observations
+  size_t p = 0;                      ///< parameters incl. intercept
+};
+
+/// Fits OLS via the normal equations with ridge-stabilised Cholesky
+/// (a tiny diagonal jitter handles collinear design matrices; exact
+/// rank-deficiency is reported as an error). `x` is row-major, one inner
+/// vector per observation; all rows must have the same arity.
+Result<OlsFit> FitOls(const std::vector<std::vector<double>>& x,
+                      const std::vector<double>& y);
+
+/// Solves the symmetric positive-definite system A b = rhs (dimension n) by
+/// Cholesky decomposition, in place. Exposed for tests and the logistic
+/// solver. Returns false if A is not positive definite.
+bool CholeskySolve(std::vector<double>& a, std::vector<double>& rhs, size_t n);
+
+}  // namespace mesa
+
+#endif  // MESA_STATS_OLS_H_

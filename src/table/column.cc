@@ -1,0 +1,243 @@
+#include "table/column.h"
+
+#include "common/logging.h"
+
+namespace mesa {
+
+Column::Column(DataType type) : type_(type) {
+  MESA_CHECK(type != DataType::kNull);
+}
+
+Column Column::FromDoubles(std::vector<double> values) {
+  Column c(DataType::kDouble);
+  c.doubles_ = std::move(values);
+  c.valid_.assign(c.doubles_.size(), 1);
+  return c;
+}
+
+Column Column::FromInts(std::vector<int64_t> values) {
+  Column c(DataType::kInt64);
+  c.ints_ = std::move(values);
+  c.valid_.assign(c.ints_.size(), 1);
+  return c;
+}
+
+Column Column::FromStrings(std::vector<std::string> values) {
+  Column c(DataType::kString);
+  c.strings_ = std::move(values);
+  c.valid_.assign(c.strings_.size(), 1);
+  return c;
+}
+
+Column Column::FromBools(std::vector<uint8_t> values) {
+  Column c(DataType::kBool);
+  c.bools_ = std::move(values);
+  c.valid_.assign(c.bools_.size(), 1);
+  return c;
+}
+
+Status Column::Append(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kDouble:
+      if (!value.is_numeric()) {
+        return Status::InvalidArgument("expected numeric value for double column");
+      }
+      AppendDouble(value.AsDouble());
+      return Status::OK();
+    case DataType::kInt64:
+      if (!value.is_int()) {
+        return Status::InvalidArgument("expected int value for int64 column");
+      }
+      AppendInt(value.int_value());
+      return Status::OK();
+    case DataType::kString:
+      if (!value.is_string()) {
+        return Status::InvalidArgument("expected string value for string column");
+      }
+      AppendString(value.string_value());
+      return Status::OK();
+    case DataType::kBool:
+      if (!value.is_bool()) {
+        return Status::InvalidArgument("expected bool value for bool column");
+      }
+      AppendBool(value.bool_value());
+      return Status::OK();
+    case DataType::kNull:
+      break;
+  }
+  return Status::Internal("corrupt column type");
+}
+
+void Column::AppendNull() {
+  valid_.push_back(0);
+  ++null_count_;
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+    case DataType::kNull:
+      break;
+  }
+}
+
+void Column::AppendDouble(double v) {
+  MESA_DCHECK(type_ == DataType::kDouble);
+  doubles_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendInt(int64_t v) {
+  MESA_DCHECK(type_ == DataType::kInt64);
+  ints_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  MESA_DCHECK(type_ == DataType::kString);
+  strings_.push_back(std::move(v));
+  valid_.push_back(1);
+}
+
+void Column::AppendBool(bool v) {
+  MESA_DCHECK(type_ == DataType::kBool);
+  bools_.push_back(v ? 1 : 0);
+  valid_.push_back(1);
+}
+
+Value Column::GetValue(size_t row) const {
+  MESA_DCHECK(row < size());
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case DataType::kDouble:
+      return Value::Double(doubles_[row]);
+    case DataType::kInt64:
+      return Value::Int(ints_[row]);
+    case DataType::kString:
+      return Value::String(strings_[row]);
+    case DataType::kBool:
+      return Value::Bool(bools_[row] != 0);
+    case DataType::kNull:
+      break;
+  }
+  return Value::Null();
+}
+
+double Column::NumericAt(size_t row) const {
+  MESA_DCHECK(IsValid(row));
+  switch (type_) {
+    case DataType::kDouble:
+      return doubles_[row];
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kBool:
+      return bools_[row] ? 1.0 : 0.0;
+    default:
+      MESA_CHECK(false && "NumericAt on string column");
+  }
+  return 0.0;
+}
+
+Status Column::Set(size_t row, const Value& value) {
+  if (row >= size()) return Status::OutOfRange("row out of range");
+  if (value.is_null()) {
+    SetNull(row);
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kDouble:
+      if (!value.is_numeric()) {
+        return Status::InvalidArgument("expected numeric value");
+      }
+      doubles_[row] = value.AsDouble();
+      break;
+    case DataType::kInt64:
+      if (!value.is_int()) return Status::InvalidArgument("expected int value");
+      ints_[row] = value.int_value();
+      break;
+    case DataType::kString:
+      if (!value.is_string()) {
+        return Status::InvalidArgument("expected string value");
+      }
+      strings_[row] = value.string_value();
+      break;
+    case DataType::kBool:
+      if (!value.is_bool()) return Status::InvalidArgument("expected bool value");
+      bools_[row] = value.bool_value() ? 1 : 0;
+      break;
+    case DataType::kNull:
+      return Status::Internal("corrupt column type");
+  }
+  if (valid_[row] == 0) {
+    valid_[row] = 1;
+    --null_count_;
+  }
+  return Status::OK();
+}
+
+void Column::SetNull(size_t row) {
+  MESA_DCHECK(row < size());
+  if (valid_[row] != 0) {
+    valid_[row] = 0;
+    ++null_count_;
+  }
+}
+
+Column Column::Take(const std::vector<size_t>& rows) const {
+  Column out(type_);
+  out.valid_.reserve(rows.size());
+  switch (type_) {
+    case DataType::kDouble:
+      out.doubles_.reserve(rows.size());
+      break;
+    case DataType::kInt64:
+      out.ints_.reserve(rows.size());
+      break;
+    case DataType::kString:
+      out.strings_.reserve(rows.size());
+      break;
+    case DataType::kBool:
+      out.bools_.reserve(rows.size());
+      break;
+    case DataType::kNull:
+      break;
+  }
+  for (size_t row : rows) {
+    MESA_DCHECK(row < size());
+    if (IsNull(row)) {
+      out.AppendNull();
+      continue;
+    }
+    switch (type_) {
+      case DataType::kDouble:
+        out.AppendDouble(doubles_[row]);
+        break;
+      case DataType::kInt64:
+        out.AppendInt(ints_[row]);
+        break;
+      case DataType::kString:
+        out.AppendString(strings_[row]);
+        break;
+      case DataType::kBool:
+        out.AppendBool(bools_[row] != 0);
+        break;
+      case DataType::kNull:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mesa

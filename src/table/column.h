@@ -1,0 +1,99 @@
+#ifndef MESA_TABLE_COLUMN_H_
+#define MESA_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace mesa {
+
+/// A typed column with a validity (non-null) bitmap. Storage is columnar:
+/// one contiguous vector of the physical type plus a parallel validity
+/// vector. Null slots hold a default payload that must never be read.
+class Column {
+ public:
+  /// Creates an empty column of the given type. kNull-typed columns are not
+  /// allowed; pick a concrete type.
+  explicit Column(DataType type);
+
+  /// Convenience factories from dense data (all valid).
+  static Column FromDoubles(std::vector<double> values);
+  static Column FromInts(std::vector<int64_t> values);
+  static Column FromStrings(std::vector<std::string> values);
+  static Column FromBools(std::vector<uint8_t> values);
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  bool IsNull(size_t row) const { return valid_[row] == 0; }
+  bool IsValid(size_t row) const { return valid_[row] != 0; }
+
+  /// Number of null entries.
+  size_t null_count() const { return null_count_; }
+
+  /// Fraction of null entries (0 for an empty column).
+  double null_fraction() const {
+    return size() == 0 ? 0.0 : static_cast<double>(null_count_) / size();
+  }
+
+  /// Appends a (typed) value. Appending a Value of mismatched type fails;
+  /// ints are accepted into double columns.
+  Status Append(const Value& value);
+
+  /// Appends a null entry.
+  void AppendNull();
+
+  /// Typed appends (no per-call type dispatch).
+  void AppendDouble(double v);
+  void AppendInt(int64_t v);
+  void AppendString(std::string v);
+  void AppendBool(bool v);
+
+  /// Reads a cell as a dynamically typed Value (Null if invalid).
+  Value GetValue(size_t row) const;
+
+  /// Typed readers. Caller must ensure the row is valid and the type
+  /// matches (checked in debug builds).
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  int64_t IntAt(size_t row) const { return ints_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+  bool BoolAt(size_t row) const { return bools_[row] != 0; }
+
+  /// Numeric payload of a valid cell as double (bools -> 0/1). Fails on
+  /// string columns.
+  double NumericAt(size_t row) const;
+
+  /// Sets an existing slot (used by imputation). Type rules as Append.
+  Status Set(size_t row, const Value& value);
+
+  /// Marks an existing slot null (used by missing-data injection).
+  void SetNull(size_t row);
+
+  /// Gathers the given rows into a new column.
+  Column Take(const std::vector<size_t>& rows) const;
+
+  /// Direct storage access for tight loops.
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& validity() const { return valid_; }
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> valid_;
+  size_t null_count_ = 0;
+
+  // Exactly one of these is populated, according to type_.
+  std::vector<double> doubles_;
+  std::vector<int64_t> ints_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> bools_;
+};
+
+}  // namespace mesa
+
+#endif  // MESA_TABLE_COLUMN_H_

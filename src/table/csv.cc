@@ -1,0 +1,230 @@
+#include "table/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace mesa {
+
+namespace {
+
+// Splits one logical CSV record honouring quotes. `pos` points at the start
+// of the record within `text` and is advanced past the trailing newline.
+std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
+                                     char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow; handled with the following \n if present
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  *pos = i;
+  return fields;
+}
+
+bool IsNullToken(const std::string& cell,
+                 const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) {
+    if (EqualsIgnoreCase(cell, t)) return true;
+  }
+  return false;
+}
+
+bool ParseBoolToken(const std::string& cell, bool* out) {
+  if (EqualsIgnoreCase(cell, "true")) {
+    *out = true;
+    return true;
+  }
+  if (EqualsIgnoreCase(cell, "false")) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options) {
+  if (!options.has_header) {
+    return Status::NotImplemented("CSV without header is not supported");
+  }
+  size_t pos = 0;
+  if (text.empty()) return Status::InvalidArgument("empty CSV input");
+  std::vector<std::string> header = ParseRecord(text, &pos, options.delimiter);
+
+  std::vector<std::vector<std::string>> cells;  // row-major
+  while (pos < text.size()) {
+    size_t before = pos;
+    std::vector<std::string> rec = ParseRecord(text, &pos, options.delimiter);
+    if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
+    if (rec.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV record at byte " + std::to_string(before) + " has " +
+          std::to_string(rec.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    cells.push_back(std::move(rec));
+  }
+
+  const size_t ncols = header.size();
+  const size_t nrows = cells.size();
+
+  // Type inference per column.
+  Schema schema;
+  std::vector<DataType> types(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    bool all_int = true, all_num = true, all_bool = true, any_value = false;
+    for (size_t r = 0; r < nrows; ++r) {
+      const std::string& cell = cells[r][c];
+      if (IsNullToken(cell, options.null_tokens)) continue;
+      any_value = true;
+      int64_t iv;
+      double dv;
+      bool bv;
+      if (!ParseInt64(cell, &iv)) all_int = false;
+      if (!ParseDouble(cell, &dv)) all_num = false;
+      if (!ParseBoolToken(cell, &bv)) all_bool = false;
+      if (!all_int && !all_num && !all_bool) break;
+    }
+    DataType t;
+    if (!any_value) {
+      t = DataType::kString;  // all-null column: degrade to string
+    } else if (all_int) {
+      t = DataType::kInt64;
+    } else if (all_num) {
+      t = DataType::kDouble;
+    } else if (all_bool) {
+      t = DataType::kBool;
+    } else {
+      t = DataType::kString;
+    }
+    types[c] = t;
+    MESA_RETURN_IF_ERROR(schema.AddField({header[c], t}));
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) columns.emplace_back(types[c]);
+  for (size_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = cells[r][c];
+      if (IsNullToken(cell, options.null_tokens)) {
+        columns[c].AppendNull();
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          int64_t v = 0;
+          ParseInt64(cell, &v);
+          columns[c].AppendInt(v);
+          break;
+        }
+        case DataType::kDouble: {
+          double v = 0;
+          ParseDouble(cell, &v);
+          columns[c].AppendDouble(v);
+          break;
+        }
+        case DataType::kBool: {
+          bool v = false;
+          ParseBoolToken(cell, &v);
+          columns[c].AppendBool(v);
+          break;
+        }
+        case DataType::kString:
+          columns[c].AppendString(cell);
+          break;
+        case DataType::kNull:
+          break;
+      }
+    }
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+namespace {
+
+std::string EscapeCell(const std::string& cell, char delim) {
+  bool needs_quotes = cell.find(delim) != std::string::npos ||
+                      cell.find('"') != std::string::npos ||
+                      cell.find('\n') != std::string::npos ||
+                      cell.find('\r') != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  const auto& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out += delimiter;
+    out += EscapeCell(schema.field(c).name, delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += delimiter;
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;  // empty cell
+      out += EscapeCell(col.GetValue(r).ToString(), delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mesa

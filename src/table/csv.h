@@ -1,0 +1,41 @@
+#ifndef MESA_TABLE_CSV_H_
+#define MESA_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Options for CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// Treat the first row as a header (column names). Required true for now.
+  bool has_header = true;
+  /// Cell spellings interpreted as null, compared case-insensitively.
+  std::vector<std::string> null_tokens = {"", "NULL", "NA", "N/A", "nan"};
+};
+
+/// Parses CSV text into a Table with per-column type inference:
+/// a column is int64 if every non-null cell parses as an integer, else
+/// double if every non-null cell parses as a number, else bool if every
+/// non-null cell is true/false, else string.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Serialises a table to CSV (RFC-4180-style quoting for cells containing
+/// the delimiter, quotes, or newlines; nulls render as empty cells).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace mesa
+
+#endif  // MESA_TABLE_CSV_H_

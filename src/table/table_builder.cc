@@ -1,0 +1,62 @@
+#include "table/table_builder.h"
+
+#include "common/logging.h"
+
+namespace mesa {
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  MESA_CHECK(!finished_);
+  if (row.size() != schema_.num_fields()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  // Validate the full row before mutating any column so a failed append
+  // leaves the builder consistent.
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    DataType want = schema_.field(i).type;
+    bool ok = false;
+    switch (want) {
+      case DataType::kDouble:
+        ok = v.is_numeric();
+        break;
+      case DataType::kInt64:
+        ok = v.is_int();
+        break;
+      case DataType::kString:
+        ok = v.is_string();
+        break;
+      case DataType::kBool:
+        ok = v.is_bool();
+        break;
+      case DataType::kNull:
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("type mismatch at field " +
+                                     schema_.field(i).name);
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Status st = columns_[i].Append(row[i]);
+    MESA_CHECK(st.ok());  // validated above
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Table> TableBuilder::Finish() {
+  MESA_CHECK(!finished_);
+  finished_ = true;
+  return Table::Make(std::move(schema_), std::move(columns_));
+}
+
+}  // namespace mesa

@@ -1,0 +1,37 @@
+#ifndef MESA_TABLE_TABLE_BUILDER_H_
+#define MESA_TABLE_TABLE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// Row-oriented table construction: declare the schema up front, append rows
+/// of Values, then Finish(). Appended rows must match the schema arity and
+/// per-field types (nulls are always accepted).
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends one row. `row.size()` must equal the schema arity.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Consumes the builder and produces the table.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mesa
+
+#endif  // MESA_TABLE_TABLE_BUILDER_H_

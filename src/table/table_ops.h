@@ -1,0 +1,42 @@
+#ifndef MESA_TABLE_TABLE_OPS_H_
+#define MESA_TABLE_TABLE_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace mesa {
+
+/// One sort key: a column and a direction.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Returns a copy of `table` with rows stably sorted by the given keys
+/// (nulls sort first in ascending order, last in descending).
+Result<Table> SortBy(const Table& table, const std::vector<SortKey>& keys);
+
+/// Returns a copy with duplicate rows (over the named columns; all columns
+/// when empty) removed, keeping the first occurrence in row order.
+Result<Table> Distinct(const Table& table,
+                       const std::vector<std::string>& columns = {});
+
+/// Vertically concatenates tables with identical schemas.
+Result<Table> Concat(const std::vector<const Table*>& tables);
+
+/// Per-column null counts and distinct counts — the profile the pruning
+/// stages and Table 1 report from.
+struct ColumnProfile {
+  std::string name;
+  DataType type = DataType::kNull;
+  size_t nulls = 0;
+  size_t distinct = 0;
+};
+std::vector<ColumnProfile> ProfileColumns(const Table& table);
+
+}  // namespace mesa
+
+#endif  // MESA_TABLE_TABLE_OPS_H_

@@ -1,0 +1,109 @@
+#include "table/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace mesa {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+DataType Value::type() const {
+  switch (repr_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kBool;
+    case 2:
+      return DataType::kInt64;
+    case 3:
+      return DataType::kDouble;
+    case 4:
+      return DataType::kString;
+  }
+  return DataType::kNull;
+}
+
+double Value::AsDouble() const {
+  if (is_bool()) return bool_value() ? 1.0 : 0.0;
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_double()) return double_value();
+  MESA_CHECK(false && "AsDouble on non-numeric Value");
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(int_value());
+    case DataType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case DataType::kString:
+      return string_value();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x2545F4914F6CDD1DULL;
+    case DataType::kBool:
+      return bool_value() ? 0x9E3779B1u : 0x85EBCA77u;
+    case DataType::kInt64:
+      return std::hash<int64_t>{}(int_value());
+    case DataType::kDouble: {
+      double d = double_value();
+      // Make -0.0 and integral doubles hash like the equal int.
+      if (d == 0.0) d = 0.0;
+      double integral = 0.0;
+      if (std::modf(d, &integral) == 0.0 &&
+          integral >= -9.2e18 && integral <= 9.2e18) {
+        return std::hash<int64_t>{}(static_cast<int64_t>(integral));
+      }
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(string_value());
+  }
+  return 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) return a.AsDouble() == b.AsDouble();
+  return a.repr_ == b.repr_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_numeric() && b.is_numeric()) return a.AsDouble() < b.AsDouble();
+  return a.repr_ < b.repr_;
+}
+
+}  // namespace mesa

@@ -1,0 +1,82 @@
+#ifndef MESA_TABLE_VALUE_H_
+#define MESA_TABLE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mesa {
+
+/// Physical column types supported by the engine.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns a stable lower-case name ("int64", "double", ...).
+const char* DataTypeName(DataType type);
+
+/// True for kInt64 / kDouble.
+bool IsNumeric(DataType type);
+
+/// A dynamically typed cell value. Null is represented by the monostate
+/// alternative. Values are ordered first by type, then by payload, so they
+/// can key ordered containers; numeric cross-type comparison (int vs double)
+/// compares by numeric value.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const;
+
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric payload as double; bools map to 0/1. Requires !is_null() and
+  /// !is_string().
+  double AsDouble() const;
+
+  /// Renders the value ("NULL", "3.14", "true", "abc").
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+/// Hash functor so Value can key std::unordered_map.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace mesa
+
+#endif  // MESA_TABLE_VALUE_H_

@@ -1,0 +1,239 @@
+// mesa_cli — command-line front end for the MESA library.
+//
+// Subcommands:
+//   gen      generate one of the four evaluation worlds to CSV + KG files
+//   explain  explain an aggregate SQL query over a CSV (+ optional KG)
+//
+// Examples:
+//   mesa_cli gen --dataset so --rows 20000 --out /tmp/so
+//   mesa_cli explain --data /tmp/so.csv --kg /tmp/so.kg \
+//       --extract Country,Continent \
+//       --query "SELECT Country, avg(Salary) FROM so GROUP BY Country" \
+//       --subgroups Continent,Gender
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime error.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/baselines/top_k.h"
+#include "core/mesa.h"
+#include "core/report_format.h"
+#include "datagen/registry.h"
+#include "kg/serialization.h"
+#include "table/csv.h"
+
+namespace mesa {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage:
+  mesa_cli gen --dataset so|covid|flights|forbes [--rows N] [--seed S] --out PREFIX
+      Writes PREFIX.csv (the dataset) and PREFIX.kg (the knowledge graph).
+
+  mesa_cli explain --data FILE.csv --query SQL
+      [--kg FILE.kg --extract Col1,Col2]   mine confounders from this KG
+      [--k N]                              max explanation size (default 5)
+      [--hops N]                           KG extraction depth (default 1)
+      [--no-prune]                         disable offline+online pruning
+      [--subgroups Col1,Col2]              also search unexplained subgroups
+      [--baseline topk]                    also print the Top-K baseline
+      [--trace]                            show MCIMR's selection steps
+)");
+  return 1;
+}
+
+// Minimal --flag value parser; flags may appear once.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      std::string name = arg.substr(2);
+      if (name == "no-prune" || name == "trace") {
+        values_[name] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + " needs a value";
+        return;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t dflt) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return dflt;
+    int64_t v = dflt;
+    ParseInt64(it->second, &v);
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int RunGen(const Flags& flags) {
+  std::string name = ToLower(flags.Get("dataset"));
+  DatasetKind kind;
+  if (name == "so") {
+    kind = DatasetKind::kStackOverflow;
+  } else if (name == "covid") {
+    kind = DatasetKind::kCovid;
+  } else if (name == "flights") {
+    kind = DatasetKind::kFlights;
+  } else if (name == "forbes") {
+    kind = DatasetKind::kForbes;
+  } else {
+    std::fprintf(stderr, "unknown --dataset '%s'\n", name.c_str());
+    return 1;
+  }
+  std::string out = flags.Get("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out PREFIX is required\n");
+    return 1;
+  }
+  GenOptions gen;
+  gen.rows = static_cast<size_t>(flags.GetInt("rows", 0));
+  gen.seed = static_cast<uint64_t>(flags.GetInt("seed", 43));
+  auto ds = MakeDataset(kind, gen);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 ds.status().ToString().c_str());
+    return 2;
+  }
+  Status csv = WriteCsvFile(ds->table, out + ".csv");
+  Status kg = WriteKgFile(*ds->kg, out + ".kg");
+  if (!csv.ok() || !kg.ok()) {
+    std::fprintf(stderr, "write failed: %s %s\n", csv.ToString().c_str(),
+                 kg.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s.csv (%zu rows) and %s.kg (%zu entities, %zu triples)\n",
+              out.c_str(), ds->table.num_rows(), out.c_str(),
+              ds->kg->num_entities(), ds->kg->num_triples());
+  std::printf("extraction columns: ");
+  for (size_t i = 0; i < ds->extraction_columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", ds->extraction_columns[i].c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunExplain(const Flags& flags) {
+  std::string data = flags.Get("data");
+  std::string sql = flags.Get("query");
+  if (data.empty() || sql.empty()) {
+    std::fprintf(stderr, "--data and --query are required\n");
+    return 1;
+  }
+  auto table = ReadCsvFile(data);
+  if (!table.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", data.c_str(),
+                 table.status().ToString().c_str());
+    return 2;
+  }
+
+  TripleStore kg;
+  const TripleStore* kg_ptr = nullptr;
+  std::vector<std::string> extract;
+  if (flags.Has("kg")) {
+    auto loaded = ReadKgFile(flags.Get("kg"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot read KG: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    kg = std::move(*loaded);
+    kg_ptr = &kg;
+    for (auto& col : Split(flags.Get("extract"), ',')) {
+      if (!col.empty()) extract.push_back(col);
+    }
+    if (extract.empty()) {
+      std::fprintf(stderr, "--kg needs --extract Col1,Col2\n");
+      return 1;
+    }
+  }
+
+  MesaOptions options;
+  options.extraction.hops = static_cast<size_t>(flags.GetInt("hops", 1));
+  options.mcimr.max_size = static_cast<size_t>(flags.GetInt("k", 5));
+  if (flags.Has("no-prune")) {
+    options.enable_offline_pruning = false;
+    options.enable_online_pruning = false;
+  }
+
+  Mesa mesa(std::move(*table), kg_ptr, extract, options);
+  auto query = ParseQuery(sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad query: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  auto report = mesa.Explain(*query);
+  if (!report.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  ReportFormatOptions fmt;
+  fmt.show_trace = flags.Has("trace");
+  std::fputs(FormatReport(*report, fmt).c_str(), stdout);
+
+  if (flags.Get("baseline") == "topk") {
+    auto pq = mesa.PrepareQuery(*query);
+    if (pq.ok()) {
+      Explanation topk = RunTopK(*pq->analysis, pq->candidate_indices,
+                                 options.mcimr.max_size);
+      std::printf("top-k baseline: %s (I=%.4f)\n", topk.ToString().c_str(),
+                  topk.final_cmi);
+    }
+  }
+
+  if (flags.Has("subgroups")) {
+    SubgroupOptions sg;
+    sg.threshold = 0.05 * report->base_cmi;
+    for (auto& col : Split(flags.Get("subgroups"), ',')) {
+      if (!col.empty()) sg.refinement_attributes.push_back(col);
+    }
+    auto groups = mesa.FindSubgroups(*query,
+                                     report->explanation.attribute_names, sg);
+    if (groups.ok()) std::fputs(FormatSubgroups(*groups).c_str(), stdout);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return Usage();
+  }
+  if (command == "gen") return RunGen(flags);
+  if (command == "explain") return RunExplain(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mesa
+
+int main(int argc, char** argv) { return mesa::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// End-to-end test of the mesa_cli binary: generate a world to disk, then
+// explain a query from the files — the full gen -> CSV/KG -> explain round
+// trip a downstream user exercises. Skipped when the binary is not found
+// (e.g. when tests run from an unexpected working directory).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mesa {
+namespace {
+
+std::string CliPath() {
+  for (const char* candidate :
+       {"../src/mesa_cli", "./src/mesa_cli", "build/src/mesa_cli"}) {
+    std::ifstream probe(candidate);
+    if (probe.good()) return candidate;
+  }
+  return "";
+}
+
+// Runs a command, returns exit code; stdout lands in `out_path`.
+int RunCommand(const std::string& command) {
+  return std::system(command.c_str());
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MesaCli, GenExplainRoundTrip) {
+  std::string cli = CliPath();
+  if (cli.empty()) GTEST_SKIP() << "mesa_cli binary not found";
+  std::string prefix = testing::TempDir() + "/mesa_cli_world";
+  std::string out = testing::TempDir() + "/mesa_cli_out.txt";
+
+  ASSERT_EQ(RunCommand(cli + " gen --dataset covid --out " + prefix + " > " +
+                       out + " 2>&1"),
+            0)
+      << Slurp(out);
+  std::string gen_log = Slurp(out);
+  EXPECT_NE(gen_log.find(".csv"), std::string::npos);
+  EXPECT_NE(gen_log.find("triples"), std::string::npos);
+
+  ASSERT_EQ(
+      RunCommand(cli + " explain --data " + prefix + ".csv --kg " + prefix +
+                 ".kg --extract Country,WHO_Region --query \"SELECT "
+                 "Country, avg(Deaths_per_100_cases) FROM covid GROUP BY "
+                 "Country\" --subgroups WHO_Region > " +
+                 out + " 2>&1"),
+      0)
+      << Slurp(out);
+  std::string explain_log = Slurp(out);
+  EXPECT_NE(explain_log.find("correlation"), std::string::npos);
+  EXPECT_NE(explain_log.find("explanation"), std::string::npos);
+  EXPECT_NE(explain_log.find("unexplained data groups"), std::string::npos);
+
+  std::remove((prefix + ".csv").c_str());
+  std::remove((prefix + ".kg").c_str());
+  std::remove(out.c_str());
+}
+
+TEST(MesaCli, UsageAndErrorPaths) {
+  std::string cli = CliPath();
+  if (cli.empty()) GTEST_SKIP() << "mesa_cli binary not found";
+  std::string out = testing::TempDir() + "/mesa_cli_err.txt";
+  // No arguments -> usage, exit 1.
+  EXPECT_NE(RunCommand(cli + " > " + out + " 2>&1"), 0);
+  EXPECT_NE(Slurp(out).find("usage"), std::string::npos);
+  // Unknown dataset -> exit 1.
+  EXPECT_NE(RunCommand(cli + " gen --dataset nope --out /tmp/x > " + out +
+                       " 2>&1"),
+            0);
+  // Missing file -> exit 2.
+  EXPECT_NE(RunCommand(cli + " explain --data /nonexistent.csv --query "
+                             "\"SELECT a, avg(b) FROM t GROUP BY a\" > " +
+                       out + " 2>&1"),
+            0);
+  // Bad SQL -> exit 1.
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace mesa

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/mesa.h"
+#include "datagen/registry.h"
+
+namespace mesa {
+namespace {
+
+// Shared fixture: one SO world + Mesa instance reused across tests (the
+// expensive part is extraction + preprocessing, which Mesa caches anyway).
+class MesaIntegration : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GenOptions gen;
+    gen.rows = 12000;
+    auto ds = MakeDataset(DatasetKind::kStackOverflow, gen);
+    MESA_CHECK(ds.ok());
+    dataset_ = new GeneratedDataset(std::move(*ds));
+    mesa_ = new Mesa(dataset_->table, dataset_->kg.get(),
+                     dataset_->extraction_columns);
+    MESA_CHECK(mesa_->Preprocess().ok());
+  }
+  static void TearDownTestSuite() {
+    delete mesa_;
+    delete dataset_;
+    mesa_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static GeneratedDataset* dataset_;
+  static Mesa* mesa_;
+};
+
+GeneratedDataset* MesaIntegration::dataset_ = nullptr;
+Mesa* MesaIntegration::mesa_ = nullptr;
+
+TEST_F(MesaIntegration, PreprocessAugmentsAndPrunes) {
+  auto aug = mesa_->augmented_table();
+  ASSERT_TRUE(aug.ok());
+  EXPECT_GT((*aug)->num_columns(), dataset_->table.num_columns());
+  EXPECT_FALSE(mesa_->kg_columns().empty());
+  // Every value linked: the country/continent worlds are fully covered.
+  EXPECT_EQ(mesa_->extraction_stats().values_linked,
+            mesa_->extraction_stats().values_total);
+  // Offline pruning removed at least type / wikiID per extraction key.
+  EXPECT_FALSE(mesa_->offline_prune_result().pruned.empty());
+  bool wikiid_pruned = false;
+  for (const auto& p : mesa_->offline_prune_result().pruned) {
+    if (p.name.find("wikiID") != std::string::npos) wikiid_pruned = true;
+  }
+  EXPECT_TRUE(wikiid_pruned);
+}
+
+TEST_F(MesaIntegration, ExplainSoQ1FindsEconomicConfounders) {
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  auto rep = mesa_->Explain(queries[0].query);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GT(rep->base_cmi, 0.5);
+  EXPECT_LT(rep->final_cmi, 0.4 * rep->base_cmi);
+  ASSERT_FALSE(rep->explanation.attribute_names.empty());
+  // The top pick must be an economic country attribute.
+  const std::string& first = rep->explanation.attribute_names[0];
+  EXPECT_TRUE(first == "hdi" || first == "hdi_rank" || first == "gdp" ||
+              first == "gdp_rank" || first == "gini")
+      << first;
+  // Responsibilities cover exactly the explanation attributes.
+  EXPECT_EQ(rep->responsibilities.size(),
+            rep->explanation.attribute_names.size());
+  // Candidate funnel is monotone.
+  EXPECT_GE(rep->candidates_after_offline, rep->candidates_after_online);
+}
+
+TEST_F(MesaIntegration, ExplainSqlEntryPoint) {
+  auto rep = mesa_->ExplainSql(
+      "SELECT Country, avg(Salary) FROM SO GROUP BY Country");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_FALSE(rep->explanation.attribute_names.empty());
+  EXPECT_FALSE(rep->Summary().empty());
+  EXPECT_FALSE(mesa_->ExplainSql("SELECT nope").ok());
+  EXPECT_FALSE(
+      mesa_->ExplainSql("SELECT Ghost, avg(Salary) FROM SO GROUP BY Ghost")
+          .ok());
+}
+
+TEST_F(MesaIntegration, ContextQueryRestrictsAnalysis) {
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  // Q3: Europe only.
+  auto rep = mesa_->Explain(queries[2].query);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_LT(rep->base_cmi, 1.0);  // much weaker correlation inside Europe
+  EXPECT_LT(rep->final_cmi, rep->base_cmi);
+}
+
+TEST_F(MesaIntegration, PrepareQueryExposesCandidates) {
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  auto pq = mesa_->PrepareQuery(queries[0].query);
+  ASSERT_TRUE(pq.ok());
+  EXPECT_GT(pq->candidate_indices.size(), 5u);
+  for (size_t i : pq->candidate_indices) {
+    EXPECT_LT(i, pq->analysis->attributes().size());
+  }
+  // Online pruning recorded reasons.
+  EXPECT_FALSE(pq->pruned_online.empty());
+}
+
+TEST_F(MesaIntegration, SubgroupsForSoQ1ContainEurope) {
+  // Table 4's headline: the Europe subgroup is unexplained by the global
+  // explanation.
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  auto rep = mesa_->Explain(queries[0].query);
+  ASSERT_TRUE(rep.ok());
+  SubgroupOptions opts;
+  opts.top_k = 5;
+  opts.threshold = 0.03 * rep->base_cmi;
+  opts.refinement_attributes = {"Continent", "Gender", "DevType"};
+  auto groups = mesa_->FindSubgroups(queries[0].query,
+                                     rep->explanation.attribute_names, opts);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_FALSE(groups->empty());
+  bool continent_found = false;
+  for (const auto& g : *groups) {
+    EXPECT_GT(g.score, opts.threshold);
+    EXPECT_GE(g.size, 30u);
+    for (const auto& cond : g.refinement.conditions()) {
+      if (cond.column == "Continent") continent_found = true;
+    }
+  }
+  // Table 4's shape: the unexplained groups are continent-level slices
+  // (which continent ranks first depends on the generator draw).
+  EXPECT_TRUE(continent_found);
+  // Sizes are non-increasing (the heap pops largest first).
+  for (size_t i = 1; i < groups->size(); ++i) {
+    EXPECT_LE((*groups)[i].size, (*groups)[i - 1].size);
+  }
+}
+
+TEST_F(MesaIntegration, NoKgStillExplainsFromInputTable) {
+  Mesa no_kg(dataset_->table, nullptr, {});
+  auto rep = no_kg.ExplainSql(
+      "SELECT Continent, avg(Salary) FROM SO GROUP BY Continent");
+  ASSERT_TRUE(rep.ok());
+  // Without the KG, no extracted columns exist.
+  EXPECT_TRUE(no_kg.kg_columns().empty());
+}
+
+TEST_F(MesaIntegration, DisabledPruningKeepsEverything) {
+  MesaOptions opts;
+  opts.enable_offline_pruning = false;
+  opts.enable_online_pruning = false;
+  Mesa raw(dataset_->table, dataset_->kg.get(), dataset_->extraction_columns,
+           opts);
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  auto pq = raw.PrepareQuery(queries[0].query);
+  ASSERT_TRUE(pq.ok());
+  auto pruned = mesa_->PrepareQuery(queries[0].query);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_GT(pq->candidate_indices.size(), pruned->candidate_indices.size());
+  EXPECT_TRUE(pq->pruned_online.empty());
+}
+
+TEST_F(MesaIntegration, TwoHopExtractionAddsLeaderAttributes) {
+  MesaOptions opts;
+  opts.extraction.hops = 2;
+  Mesa deep(dataset_->table, dataset_->kg.get(),
+            dataset_->extraction_columns, opts);
+  ASSERT_TRUE(deep.Preprocess().ok());
+  bool has_leader_age = false;
+  for (const auto& name : deep.kg_columns()) {
+    has_leader_age |= name.find("leader_age") != std::string::npos;
+  }
+  EXPECT_TRUE(has_leader_age);
+  // Hop-2 widens the candidate space relative to hop-1.
+  EXPECT_GT(deep.kg_columns().size(), mesa_->kg_columns().size());
+  // And the explanation still works.
+  auto rep = deep.Explain(
+      CanonicalQueries(DatasetKind::kStackOverflow)[0].query);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_LT(rep->final_cmi, rep->base_cmi);
+}
+
+TEST_F(MesaIntegration, RankLinksScoresFollowableEdges) {
+  MesaOptions opts;
+  opts.extraction.hops = 2;
+  Mesa deep(dataset_->table, dataset_->kg.get(),
+            dataset_->extraction_columns, opts);
+  auto links = deep.RankLinks(
+      CanonicalQueries(DatasetKind::kStackOverflow)[0].query);
+  ASSERT_TRUE(links.ok());
+  ASSERT_FALSE(links->empty());
+  // The country KG has exactly one followable link: leader.
+  EXPECT_EQ(links->front().link, "leader");
+  EXPECT_GT(links->front().attributes, 0u);
+  // Leader demographics don't explain salaries: the link scores poorly
+  // (its best CMI stays near the base), which is §5.4's observation that
+  // hop-2 information is rarely worth following.
+  auto pq = deep.PrepareQuery(
+      CanonicalQueries(DatasetKind::kStackOverflow)[0].query);
+  ASSERT_TRUE(pq.ok());
+  EXPECT_GT(links->front().best_cmi, 0.5 * pq->analysis->BaseCmi());
+  // With 1 hop there are no followed links to rank.
+  auto shallow = mesa_->RankLinks(
+      CanonicalQueries(DatasetKind::kStackOverflow)[0].query);
+  ASSERT_TRUE(shallow.ok());
+  EXPECT_TRUE(shallow->empty());
+}
+
+TEST_F(MesaIntegration, CompositeExposureQueryEndToEnd) {
+  auto rep = mesa_->ExplainSql(
+      "SELECT Continent, Gender, avg(Salary) FROM SO "
+      "GROUP BY Continent, Gender");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GT(rep->base_cmi, 0.0);
+  EXPECT_LT(rep->final_cmi, rep->base_cmi);
+  // Neither grouping attribute can be its own explanation.
+  for (const auto& n : rep->explanation.attribute_names) {
+    EXPECT_NE(n, "Continent");
+    EXPECT_NE(n, "Gender");
+  }
+}
+
+TEST_F(MesaIntegration, UsefulnessCriterionHoldsForCanonicalQueries) {
+  // The paper's §5.1 usefulness notion: conditioning on the explanation
+  // lowers the correlation, and at least one attribute came from the KG.
+  auto queries = CanonicalQueries(DatasetKind::kStackOverflow);
+  size_t useful = 0;
+  for (const auto& bq : queries) {
+    auto rep = mesa_->Explain(bq.query);
+    ASSERT_TRUE(rep.ok()) << bq.id;
+    bool lower = rep->final_cmi < rep->base_cmi;
+    bool has_kg = false;
+    for (size_t idx : rep->explanation.attribute_indices) {
+      auto pq = mesa_->PrepareQuery(bq.query);
+      has_kg |= pq->analysis->attributes()[idx].from_kg;
+      break;
+    }
+    if (lower && has_kg) ++useful;
+  }
+  EXPECT_GE(useful, 2u);  // at least 2 of the 3 SO queries
+}
+
+}  // namespace
+}  // namespace mesa

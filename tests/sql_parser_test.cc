@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "query/sql_parser.h"
+
+namespace mesa {
+namespace {
+
+TEST(SqlParser, MinimalQuery) {
+  auto q = ParseQuery("SELECT Country, avg(Salary) FROM SO GROUP BY Country");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->exposure, "Country");
+  EXPECT_EQ(q->outcome, "Salary");
+  EXPECT_EQ(q->aggregate, AggregateFunction::kAvg);
+  EXPECT_EQ(q->table_name, "SO");
+  EXPECT_TRUE(q->context.empty());
+}
+
+TEST(SqlParser, SelectItemsInEitherOrder) {
+  auto q = ParseQuery("SELECT max(Delay), City FROM F GROUP BY City");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->exposure, "City");
+  EXPECT_EQ(q->outcome, "Delay");
+  EXPECT_EQ(q->aggregate, AggregateFunction::kMax);
+}
+
+TEST(SqlParser, KeywordsCaseInsensitive) {
+  auto q = ParseQuery("select Country, AVG(Salary) from SO group by Country");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->exposure, "Country");
+}
+
+TEST(SqlParser, WhereSingleCondition) {
+  auto q = ParseQuery(
+      "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' "
+      "GROUP BY Country");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->context.size(), 1u);
+  EXPECT_EQ(q->context.conditions()[0].column, "Continent");
+  EXPECT_EQ(q->context.conditions()[0].op, CompareOp::kEq);
+  EXPECT_EQ(q->context.conditions()[0].value.string_value(), "Europe");
+}
+
+TEST(SqlParser, BareWordLiteralAsInPaper) {
+  // The paper writes `WHERE Continent = Europe` without quotes.
+  auto q = ParseQuery(
+      "SELECT Country, avg(Salary) FROM SO WHERE Continent = Europe "
+      "GROUP BY Country");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context.conditions()[0].value.string_value(), "Europe");
+}
+
+TEST(SqlParser, WhereConjunction) {
+  auto q = ParseQuery(
+      "SELECT City, avg(Delay) FROM F WHERE State = 'CA' AND Month >= 6 AND "
+      "Cancelled = false GROUP BY City");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->context.size(), 3u);
+  EXPECT_EQ(q->context.conditions()[1].op, CompareOp::kGe);
+  EXPECT_EQ(q->context.conditions()[1].value.int_value(), 6);
+  EXPECT_EQ(q->context.conditions()[2].value.bool_value(), false);
+}
+
+TEST(SqlParser, AllComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    std::string sql = std::string("SELECT a, avg(b) FROM t WHERE c ") + op +
+                      " 1 GROUP BY a";
+    EXPECT_TRUE(ParseQuery(sql).ok()) << op;
+  }
+}
+
+TEST(SqlParser, InList) {
+  auto q = ParseQuery(
+      "SELECT a, avg(b) FROM t WHERE c IN ('x', 'y', 3) GROUP BY a");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->context.conditions()[0].in_values.size(), 3u);
+  EXPECT_EQ(q->context.conditions()[0].op, CompareOp::kIn);
+}
+
+TEST(SqlParser, NumericLiterals) {
+  auto q = ParseQuery(
+      "SELECT a, avg(b) FROM t WHERE c > -2.5e2 GROUP BY a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->context.conditions()[0].value.double_value(), -250.0);
+}
+
+TEST(SqlParser, QuotedIdentifiers) {
+  auto q = ParseQuery(
+      "SELECT \"My Column\", avg(\"Other Col\") FROM t GROUP BY \"My Column\"");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->exposure, "My Column");
+  EXPECT_EQ(q->outcome, "Other Col");
+}
+
+TEST(SqlParser, EscapedStringQuote) {
+  auto q = ParseQuery(
+      "SELECT a, avg(b) FROM t WHERE c = 'O''Brien' GROUP BY a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->context.conditions()[0].value.string_value(), "O'Brien");
+}
+
+TEST(SqlParser, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseQuery("SELECT a, avg(b) FROM t GROUP BY a;").ok());
+}
+
+TEST(SqlParser, GroupByMustMatchSelect) {
+  auto q = ParseQuery("SELECT a, avg(b) FROM t GROUP BY c");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(SqlParser, ErrorsCarryPosition) {
+  auto q = ParseQuery("SELECT a avg(b) FROM t GROUP BY a");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("byte"), std::string::npos);
+}
+
+TEST(SqlParser, RejectsGarbage) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("DELETE FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a, b FROM t GROUP BY a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT avg(a), sum(b) FROM t GROUP BY a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a, avg(b) FROM t GROUP BY a extra").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a, avg(b FROM t GROUP BY a").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT a, avg(b) FROM t WHERE c = 'unterminated GROUP BY a")
+          .ok());
+  EXPECT_FALSE(ParseQuery("SELECT a, wat(b) FROM t GROUP BY a").ok());
+}
+
+TEST(SqlParser, RoundTripWithToSql) {
+  auto q = ParseQuery(
+      "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' "
+      "GROUP BY Country");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToSql());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->exposure, q->exposure);
+  EXPECT_EQ(q2->outcome, q->outcome);
+  EXPECT_EQ(q2->context.ToString(), q->context.ToString());
+}
+
+}  // namespace
+}  // namespace mesa

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/table_ops.h"
+
+namespace mesa {
+namespace {
+
+Table Sample() {
+  return *ReadCsvString(
+      "name,score,team\n"
+      "dan,3,red\n"
+      "ann,1,blue\n"
+      "cat,,red\n"
+      "bob,2,blue\n"
+      "ann,1,blue\n");
+}
+
+TEST(SortBy, SingleKeyAscendingNullsFirst) {
+  auto t = SortBy(Sample(), {{"score", true}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->column(1).IsNull(0));  // cat's null first
+  EXPECT_EQ(t->GetCell(1, "name")->string_value(), "ann");
+  EXPECT_EQ(t->GetCell(4, "name")->string_value(), "dan");
+}
+
+TEST(SortBy, DescendingNullsLast) {
+  auto t = SortBy(Sample(), {{"score", false}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->GetCell(0, "name")->string_value(), "dan");
+  EXPECT_TRUE(t->column(1).IsNull(4));
+}
+
+TEST(SortBy, MultiKeyStable) {
+  auto t = SortBy(Sample(), {{"team", true}, {"name", true}});
+  ASSERT_TRUE(t.ok());
+  // blue team first (ann, ann, bob), then red (cat, dan).
+  EXPECT_EQ(t->GetCell(0, "name")->string_value(), "ann");
+  EXPECT_EQ(t->GetCell(2, "name")->string_value(), "bob");
+  EXPECT_EQ(t->GetCell(3, "name")->string_value(), "cat");
+}
+
+TEST(SortBy, UnknownColumnErrors) {
+  EXPECT_FALSE(SortBy(Sample(), {{"ghost", true}}).ok());
+}
+
+TEST(Distinct, AllColumns) {
+  auto t = Distinct(Sample());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 4u);  // duplicate ann row removed
+}
+
+TEST(Distinct, SubsetOfColumns) {
+  auto t = Distinct(Sample(), {"team"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  // First occurrences kept, in row order.
+  EXPECT_EQ(t->GetCell(0, "name")->string_value(), "dan");
+  EXPECT_EQ(t->GetCell(1, "name")->string_value(), "ann");
+}
+
+TEST(Distinct, NullsCompareEqual) {
+  Table t = *ReadCsvString("x,y\n,1\n,2\n");
+  auto d = Distinct(t, {"x"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_rows(), 1u);
+}
+
+TEST(Distinct, UnknownColumnErrors) {
+  EXPECT_FALSE(Distinct(Sample(), {"ghost"}).ok());
+}
+
+TEST(Concat, StacksRows) {
+  Table a = *ReadCsvString("x,y\n1,a\n");
+  Table b = *ReadCsvString("x,y\n2,b\n3,\n");
+  auto t = Concat({&a, &b});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 3u);
+  EXPECT_EQ(t->GetCell(1, "y")->string_value(), "b");
+  EXPECT_TRUE(t->GetCell(2, "y")->is_null());
+}
+
+TEST(Concat, SchemaMismatchErrors) {
+  Table a = *ReadCsvString("x,y\n1,a\n");
+  Table b = *ReadCsvString("x,z\n1,a\n");
+  EXPECT_FALSE(Concat({&a, &b}).ok());
+  EXPECT_FALSE(Concat({}).ok());
+}
+
+TEST(ProfileColumns, CountsNullsAndDistinct) {
+  auto profiles = ProfileColumns(Sample());
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "name");
+  EXPECT_EQ(profiles[0].distinct, 4u);
+  EXPECT_EQ(profiles[1].nulls, 1u);
+  EXPECT_EQ(profiles[1].distinct, 3u);
+  EXPECT_EQ(profiles[2].distinct, 2u);
+}
+
+}  // namespace
+}  // namespace mesa

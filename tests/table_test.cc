@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "table/column.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/table_builder.h"
+#include "table/value.h"
+
+namespace mesa {
+namespace {
+
+// ----------------------------------------------------------------- Value
+
+TEST(Value, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(Value, TypedAccessors) {
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+}
+
+TEST(Value, AsDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(Value::Double(0.5).AsDouble(), 0.5);
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::Int(3), Value::Double(3.5));
+  // Cross-type numeric equality must hash consistently.
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(Value, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Double(1.5), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_FALSE(Value::String("b") < Value::String("a"));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+}
+
+TEST(Value, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+  EXPECT_STREQ(DataTypeName(DataType::kBool), "bool");
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(Schema, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", DataType::kInt64}).ok());
+  ASSERT_TRUE(s.AddField({"b", DataType::kString}).ok());
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_FALSE(s.IndexOf("c").has_value());
+  EXPECT_TRUE(s.Contains("a"));
+  EXPECT_EQ(s.FieldByName("a")->type, DataType::kInt64);
+  EXPECT_FALSE(s.FieldByName("zzz").ok());
+}
+
+TEST(Schema, RejectsDuplicates) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"a", DataType::kInt64}).ok());
+  EXPECT_EQ(s.AddField({"a", DataType::kDouble}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Schema, ToStringAndNames) {
+  Schema s({{"x", DataType::kDouble}, {"y", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "x:double, y:string");
+  EXPECT_EQ(s.names(), (std::vector<std::string>{"x", "y"}));
+}
+
+// ---------------------------------------------------------------- Column
+
+TEST(Column, AppendAndRead) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(1.5);
+  c.AppendNull();
+  c.AppendDouble(-2.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_TRUE(c.IsValid(0));
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_DOUBLE_EQ(c.DoubleAt(2), -2.0);
+  EXPECT_TRUE(c.GetValue(1).is_null());
+  EXPECT_DOUBLE_EQ(c.GetValue(0).double_value(), 1.5);
+}
+
+TEST(Column, NullFraction) {
+  Column c(DataType::kInt64);
+  EXPECT_DOUBLE_EQ(c.null_fraction(), 0.0);
+  c.AppendInt(1);
+  c.AppendNull();
+  EXPECT_DOUBLE_EQ(c.null_fraction(), 0.5);
+}
+
+TEST(Column, AppendValueTypeChecks) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.Append(Value::Int(1)).ok());
+  EXPECT_TRUE(c.Append(Value::Null()).ok());
+  EXPECT_FALSE(c.Append(Value::String("x")).ok());
+  EXPECT_FALSE(c.Append(Value::Double(1.5)).ok());
+  // Double columns accept ints.
+  Column d(DataType::kDouble);
+  EXPECT_TRUE(d.Append(Value::Int(3)).ok());
+  EXPECT_DOUBLE_EQ(d.DoubleAt(0), 3.0);
+}
+
+TEST(Column, SetAndSetNull) {
+  Column c = Column::FromInts({1, 2, 3});
+  ASSERT_TRUE(c.Set(1, Value::Int(20)).ok());
+  EXPECT_EQ(c.IntAt(1), 20);
+  c.SetNull(0);
+  EXPECT_EQ(c.null_count(), 1u);
+  // Re-setting a null slot repairs the null count.
+  ASSERT_TRUE(c.Set(0, Value::Int(5)).ok());
+  EXPECT_EQ(c.null_count(), 0u);
+  EXPECT_FALSE(c.Set(99, Value::Int(0)).ok());
+}
+
+TEST(Column, TakeGathersAndReorders) {
+  Column c = Column::FromStrings({"a", "b", "c"});
+  c.AppendNull();
+  Column t = c.Take({3, 0, 0, 2});
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_TRUE(t.IsNull(0));
+  EXPECT_EQ(t.StringAt(1), "a");
+  EXPECT_EQ(t.StringAt(2), "a");
+  EXPECT_EQ(t.StringAt(3), "c");
+}
+
+TEST(Column, FromFactories) {
+  EXPECT_EQ(Column::FromDoubles({1, 2}).type(), DataType::kDouble);
+  EXPECT_EQ(Column::FromBools({1, 0}).type(), DataType::kBool);
+  EXPECT_EQ(Column::FromInts({1}).size(), 1u);
+}
+
+TEST(Column, NumericAt) {
+  Column b = Column::FromBools({1, 0});
+  EXPECT_DOUBLE_EQ(b.NumericAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.NumericAt(1), 0.0);
+}
+
+// ----------------------------------------------------------------- Table
+
+Table SmallTable() {
+  Schema schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2, 3}));
+  cols.push_back(Column::FromStrings({"a", "b", "c"}));
+  cols.push_back(Column::FromDoubles({0.5, 1.5, 2.5}));
+  return *Table::Make(std::move(schema), std::move(cols));
+}
+
+TEST(Table, MakeValidatesLengths) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1, 2}));
+  cols.push_back(Column::FromInts({1}));
+  EXPECT_FALSE(Table::Make(std::move(schema), std::move(cols)).ok());
+}
+
+TEST(Table, MakeValidatesTypes) {
+  Schema schema({{"a", DataType::kDouble}});
+  std::vector<Column> cols;
+  cols.push_back(Column::FromInts({1}));
+  EXPECT_FALSE(Table::Make(std::move(schema), std::move(cols)).ok());
+}
+
+TEST(Table, BasicAccess) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ((*t.ColumnByName("name"))->StringAt(1), "b");
+  EXPECT_FALSE(t.ColumnByName("nope").ok());
+  EXPECT_EQ(t.GetCell(2, "id")->int_value(), 3);
+  EXPECT_FALSE(t.GetCell(9, "id").ok());
+}
+
+TEST(Table, AddDropColumn) {
+  Table t = SmallTable();
+  ASSERT_TRUE(
+      t.AddColumn({"flag", DataType::kBool}, Column::FromBools({1, 0, 1}))
+          .ok());
+  EXPECT_EQ(t.num_columns(), 4u);
+  // Duplicate name rejected.
+  EXPECT_FALSE(
+      t.AddColumn({"flag", DataType::kBool}, Column::FromBools({1, 0, 1}))
+          .ok());
+  // Wrong length rejected.
+  EXPECT_FALSE(
+      t.AddColumn({"bad", DataType::kBool}, Column::FromBools({1})).ok());
+  ASSERT_TRUE(t.DropColumn("name").ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_FALSE(t.schema().Contains("name"));
+  // Index map stays correct after drop.
+  EXPECT_EQ(t.GetCell(0, "flag")->bool_value(), true);
+  EXPECT_FALSE(t.DropColumn("name").ok());
+}
+
+TEST(Table, SelectProjects) {
+  Table t = SmallTable();
+  auto s = t.Select({"score", "id"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_columns(), 2u);
+  EXPECT_EQ(s->schema().field(0).name, "score");
+  EXPECT_FALSE(t.Select({"ghost"}).ok());
+}
+
+TEST(Table, TakeAndFilterRows) {
+  Table t = SmallTable();
+  Table taken = t.TakeRows({2, 0});
+  EXPECT_EQ(taken.num_rows(), 2u);
+  EXPECT_EQ(taken.GetCell(0, "name")->string_value(), "c");
+  Table filtered = t.FilterRows({0, 1, 1});
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.GetCell(0, "id")->int_value(), 2);
+}
+
+TEST(Table, ToStringTruncates) {
+  Table t = SmallTable();
+  std::string s = t.ToString(1);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+// ---------------------------------------------------------- TableBuilder
+
+TEST(TableBuilder, BuildsRows) {
+  TableBuilder b(Schema({{"x", DataType::kInt64}, {"y", DataType::kString}}));
+  ASSERT_TRUE(b.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value::Null(), Value::String("b")}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 2u);
+  EXPECT_TRUE(t->column(0).IsNull(1));
+}
+
+TEST(TableBuilder, RejectsArityMismatch) {
+  TableBuilder b(Schema({{"x", DataType::kInt64}}));
+  EXPECT_FALSE(b.AppendRow({}).ok());
+  EXPECT_FALSE(b.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+}
+
+TEST(TableBuilder, RejectsTypeMismatchWithoutPartialWrite) {
+  TableBuilder b(Schema({{"x", DataType::kInt64}, {"y", DataType::kInt64}}));
+  // Second cell bad: the row must not be half-applied.
+  EXPECT_FALSE(b.AppendRow({Value::Int(1), Value::String("bad")}).ok());
+  EXPECT_EQ(b.num_rows(), 0u);
+  ASSERT_TRUE(b.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->num_rows(), 1u);
+  EXPECT_EQ(t->column(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mesa
