@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_estimators"
+  "../bench/bench_ablation_estimators.pdb"
+  "CMakeFiles/bench_ablation_estimators.dir/bench_ablation_estimators.cc.o"
+  "CMakeFiles/bench_ablation_estimators.dir/bench_ablation_estimators.cc.o.d"
+  "CMakeFiles/bench_ablation_estimators.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_estimators.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mcimr"
+  "../bench/bench_ablation_mcimr.pdb"
+  "CMakeFiles/bench_ablation_mcimr.dir/bench_ablation_mcimr.cc.o"
+  "CMakeFiles/bench_ablation_mcimr.dir/bench_ablation_mcimr.cc.o.d"
+  "CMakeFiles/bench_ablation_mcimr.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_mcimr.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mcimr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

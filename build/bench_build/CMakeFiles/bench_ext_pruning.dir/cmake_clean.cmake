@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_pruning"
+  "../bench/bench_ext_pruning.pdb"
+  "CMakeFiles/bench_ext_pruning.dir/bench_ext_pruning.cc.o"
+  "CMakeFiles/bench_ext_pruning.dir/bench_ext_pruning.cc.o.d"
+  "CMakeFiles/bench_ext_pruning.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ext_pruning.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_explainability"
+  "../bench/bench_fig2_explainability.pdb"
+  "CMakeFiles/bench_fig2_explainability.dir/bench_fig2_explainability.cc.o"
+  "CMakeFiles/bench_fig2_explainability.dir/bench_fig2_explainability.cc.o.d"
+  "CMakeFiles/bench_fig2_explainability.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig2_explainability.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_explainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

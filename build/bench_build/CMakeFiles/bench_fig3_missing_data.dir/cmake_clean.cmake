@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_missing_data"
+  "../bench/bench_fig3_missing_data.pdb"
+  "CMakeFiles/bench_fig3_missing_data.dir/bench_fig3_missing_data.cc.o"
+  "CMakeFiles/bench_fig3_missing_data.dir/bench_fig3_missing_data.cc.o.d"
+  "CMakeFiles/bench_fig3_missing_data.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig3_missing_data.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_missing_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_candidates"
+  "../bench/bench_fig4_candidates.pdb"
+  "CMakeFiles/bench_fig4_candidates.dir/bench_fig4_candidates.cc.o"
+  "CMakeFiles/bench_fig4_candidates.dir/bench_fig4_candidates.cc.o.d"
+  "CMakeFiles/bench_fig4_candidates.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig4_candidates.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

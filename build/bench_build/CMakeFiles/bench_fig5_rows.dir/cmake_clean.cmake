@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_rows"
+  "../bench/bench_fig5_rows.pdb"
+  "CMakeFiles/bench_fig5_rows.dir/bench_fig5_rows.cc.o"
+  "CMakeFiles/bench_fig5_rows.dir/bench_fig5_rows.cc.o.d"
+  "CMakeFiles/bench_fig5_rows.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig5_rows.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_explanation_size"
+  "../bench/bench_fig6_explanation_size.pdb"
+  "CMakeFiles/bench_fig6_explanation_size.dir/bench_fig6_explanation_size.cc.o"
+  "CMakeFiles/bench_fig6_explanation_size.dir/bench_fig6_explanation_size.cc.o.d"
+  "CMakeFiles/bench_fig6_explanation_size.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig6_explanation_size.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_explanation_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_info"
+  "../bench/bench_micro_info.pdb"
+  "CMakeFiles/bench_micro_info.dir/bench_micro_info.cc.o"
+  "CMakeFiles/bench_micro_info.dir/bench_micro_info.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_explanations"
+  "../bench/bench_table2_explanations.pdb"
+  "CMakeFiles/bench_table2_explanations.dir/bench_table2_explanations.cc.o"
+  "CMakeFiles/bench_table2_explanations.dir/bench_table2_explanations.cc.o.d"
+  "CMakeFiles/bench_table2_explanations.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table2_explanations.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

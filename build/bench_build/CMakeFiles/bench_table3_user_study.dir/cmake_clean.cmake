@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_user_study"
+  "../bench/bench_table3_user_study.pdb"
+  "CMakeFiles/bench_table3_user_study.dir/bench_table3_user_study.cc.o"
+  "CMakeFiles/bench_table3_user_study.dir/bench_table3_user_study.cc.o.d"
+  "CMakeFiles/bench_table3_user_study.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table3_user_study.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_subgroups"
+  "../bench/bench_table4_subgroups.pdb"
+  "CMakeFiles/bench_table4_subgroups.dir/bench_table4_subgroups.cc.o"
+  "CMakeFiles/bench_table4_subgroups.dir/bench_table4_subgroups.cc.o.d"
+  "CMakeFiles/bench_table4_subgroups.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table4_subgroups.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_subgroups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/bench_usefulness_random_queries"
+  "../bench/bench_usefulness_random_queries.pdb"
+  "CMakeFiles/bench_usefulness_random_queries.dir/bench_usefulness_random_queries.cc.o"
+  "CMakeFiles/bench_usefulness_random_queries.dir/bench_usefulness_random_queries.cc.o.d"
+  "CMakeFiles/bench_usefulness_random_queries.dir/bench_util.cc.o"
+  "CMakeFiles/bench_usefulness_random_queries.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_usefulness_random_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covid_confounders.dir/covid_confounders.cpp.o"
+  "CMakeFiles/covid_confounders.dir/covid_confounders.cpp.o.d"
+  "covid_confounders"
+  "covid_confounders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covid_confounders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for covid_confounders.
+# This may be replaced when dependencies are built.

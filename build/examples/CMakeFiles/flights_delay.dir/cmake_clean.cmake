@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flights_delay.dir/flights_delay.cpp.o"
+  "CMakeFiles/flights_delay.dir/flights_delay.cpp.o.d"
+  "flights_delay"
+  "flights_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flights_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

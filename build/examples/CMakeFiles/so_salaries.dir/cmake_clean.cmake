@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/so_salaries.dir/so_salaries.cpp.o"
+  "CMakeFiles/so_salaries.dir/so_salaries.cpp.o.d"
+  "so_salaries"
+  "so_salaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/so_salaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mesa.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mesa.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mesa.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mesa.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mesa.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mesa.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mesa.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mesa.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/baselines/brute_force.cc" "src/CMakeFiles/mesa.dir/core/baselines/brute_force.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/baselines/brute_force.cc.o.d"
+  "/root/repo/src/core/baselines/hypdb.cc" "src/CMakeFiles/mesa.dir/core/baselines/hypdb.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/baselines/hypdb.cc.o.d"
+  "/root/repo/src/core/baselines/lr_explainer.cc" "src/CMakeFiles/mesa.dir/core/baselines/lr_explainer.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/baselines/lr_explainer.cc.o.d"
+  "/root/repo/src/core/baselines/top_k.cc" "src/CMakeFiles/mesa.dir/core/baselines/top_k.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/baselines/top_k.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/mesa.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/mcimr.cc" "src/CMakeFiles/mesa.dir/core/mcimr.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/mcimr.cc.o.d"
+  "/root/repo/src/core/mesa.cc" "src/CMakeFiles/mesa.dir/core/mesa.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/mesa.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/CMakeFiles/mesa.dir/core/pruning.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/pruning.cc.o.d"
+  "/root/repo/src/core/report_format.cc" "src/CMakeFiles/mesa.dir/core/report_format.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/report_format.cc.o.d"
+  "/root/repo/src/core/responsibility.cc" "src/CMakeFiles/mesa.dir/core/responsibility.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/responsibility.cc.o.d"
+  "/root/repo/src/core/subgroups.cc" "src/CMakeFiles/mesa.dir/core/subgroups.cc.o" "gcc" "src/CMakeFiles/mesa.dir/core/subgroups.cc.o.d"
+  "/root/repo/src/datagen/common_gen.cc" "src/CMakeFiles/mesa.dir/datagen/common_gen.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/common_gen.cc.o.d"
+  "/root/repo/src/datagen/covid_gen.cc" "src/CMakeFiles/mesa.dir/datagen/covid_gen.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/covid_gen.cc.o.d"
+  "/root/repo/src/datagen/flights_gen.cc" "src/CMakeFiles/mesa.dir/datagen/flights_gen.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/flights_gen.cc.o.d"
+  "/root/repo/src/datagen/forbes_gen.cc" "src/CMakeFiles/mesa.dir/datagen/forbes_gen.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/forbes_gen.cc.o.d"
+  "/root/repo/src/datagen/registry.cc" "src/CMakeFiles/mesa.dir/datagen/registry.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/registry.cc.o.d"
+  "/root/repo/src/datagen/so_gen.cc" "src/CMakeFiles/mesa.dir/datagen/so_gen.cc.o" "gcc" "src/CMakeFiles/mesa.dir/datagen/so_gen.cc.o.d"
+  "/root/repo/src/info/contingency.cc" "src/CMakeFiles/mesa.dir/info/contingency.cc.o" "gcc" "src/CMakeFiles/mesa.dir/info/contingency.cc.o.d"
+  "/root/repo/src/info/entropy.cc" "src/CMakeFiles/mesa.dir/info/entropy.cc.o" "gcc" "src/CMakeFiles/mesa.dir/info/entropy.cc.o.d"
+  "/root/repo/src/info/independence.cc" "src/CMakeFiles/mesa.dir/info/independence.cc.o" "gcc" "src/CMakeFiles/mesa.dir/info/independence.cc.o.d"
+  "/root/repo/src/info/mutual_information.cc" "src/CMakeFiles/mesa.dir/info/mutual_information.cc.o" "gcc" "src/CMakeFiles/mesa.dir/info/mutual_information.cc.o.d"
+  "/root/repo/src/kg/entity_linker.cc" "src/CMakeFiles/mesa.dir/kg/entity_linker.cc.o" "gcc" "src/CMakeFiles/mesa.dir/kg/entity_linker.cc.o.d"
+  "/root/repo/src/kg/extractor.cc" "src/CMakeFiles/mesa.dir/kg/extractor.cc.o" "gcc" "src/CMakeFiles/mesa.dir/kg/extractor.cc.o.d"
+  "/root/repo/src/kg/serialization.cc" "src/CMakeFiles/mesa.dir/kg/serialization.cc.o" "gcc" "src/CMakeFiles/mesa.dir/kg/serialization.cc.o.d"
+  "/root/repo/src/kg/synthetic_kg.cc" "src/CMakeFiles/mesa.dir/kg/synthetic_kg.cc.o" "gcc" "src/CMakeFiles/mesa.dir/kg/synthetic_kg.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/CMakeFiles/mesa.dir/kg/triple_store.cc.o" "gcc" "src/CMakeFiles/mesa.dir/kg/triple_store.cc.o.d"
+  "/root/repo/src/missing/imputation.cc" "src/CMakeFiles/mesa.dir/missing/imputation.cc.o" "gcc" "src/CMakeFiles/mesa.dir/missing/imputation.cc.o.d"
+  "/root/repo/src/missing/ipw.cc" "src/CMakeFiles/mesa.dir/missing/ipw.cc.o" "gcc" "src/CMakeFiles/mesa.dir/missing/ipw.cc.o.d"
+  "/root/repo/src/missing/mask.cc" "src/CMakeFiles/mesa.dir/missing/mask.cc.o" "gcc" "src/CMakeFiles/mesa.dir/missing/mask.cc.o.d"
+  "/root/repo/src/missing/selection_bias.cc" "src/CMakeFiles/mesa.dir/missing/selection_bias.cc.o" "gcc" "src/CMakeFiles/mesa.dir/missing/selection_bias.cc.o.d"
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/mesa.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/group_by.cc" "src/CMakeFiles/mesa.dir/query/group_by.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/group_by.cc.o.d"
+  "/root/repo/src/query/join.cc" "src/CMakeFiles/mesa.dir/query/join.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/join.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/mesa.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/query_spec.cc" "src/CMakeFiles/mesa.dir/query/query_spec.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/query_spec.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/CMakeFiles/mesa.dir/query/sql_parser.cc.o" "gcc" "src/CMakeFiles/mesa.dir/query/sql_parser.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/mesa.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/mesa.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/discretizer.cc" "src/CMakeFiles/mesa.dir/stats/discretizer.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/discretizer.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/mesa.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/logistic.cc" "src/CMakeFiles/mesa.dir/stats/logistic.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/logistic.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "src/CMakeFiles/mesa.dir/stats/ols.cc.o" "gcc" "src/CMakeFiles/mesa.dir/stats/ols.cc.o.d"
+  "/root/repo/src/table/column.cc" "src/CMakeFiles/mesa.dir/table/column.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/column.cc.o.d"
+  "/root/repo/src/table/csv.cc" "src/CMakeFiles/mesa.dir/table/csv.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/csv.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/mesa.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/mesa.dir/table/table.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_builder.cc" "src/CMakeFiles/mesa.dir/table/table_builder.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/table_builder.cc.o.d"
+  "/root/repo/src/table/table_ops.cc" "src/CMakeFiles/mesa.dir/table/table_ops.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/table_ops.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/mesa.dir/table/value.cc.o" "gcc" "src/CMakeFiles/mesa.dir/table/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mesa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesa_cli.dir/tools/mesa_cli.cc.o"
+  "CMakeFiles/mesa_cli.dir/tools/mesa_cli.cc.o.d"
+  "mesa_cli"
+  "mesa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

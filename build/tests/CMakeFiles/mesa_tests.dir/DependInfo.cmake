@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/mesa_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/mesa_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mesa_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/mesa_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/mesa_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/mesa_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/info_test.cc" "tests/CMakeFiles/mesa_tests.dir/info_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/info_test.cc.o.d"
+  "/root/repo/tests/kg_test.cc" "tests/CMakeFiles/mesa_tests.dir/kg_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/kg_test.cc.o.d"
+  "/root/repo/tests/mesa_integration_test.cc" "tests/CMakeFiles/mesa_tests.dir/mesa_integration_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/mesa_integration_test.cc.o.d"
+  "/root/repo/tests/missing_test.cc" "tests/CMakeFiles/mesa_tests.dir/missing_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/missing_test.cc.o.d"
+  "/root/repo/tests/multi_exposure_test.cc" "tests/CMakeFiles/mesa_tests.dir/multi_exposure_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/multi_exposure_test.cc.o.d"
+  "/root/repo/tests/property2_test.cc" "tests/CMakeFiles/mesa_tests.dir/property2_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/property2_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mesa_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/mesa_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/report_format_test.cc" "tests/CMakeFiles/mesa_tests.dir/report_format_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/report_format_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/mesa_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/mesa_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/mesa_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/subgroups_test.cc" "tests/CMakeFiles/mesa_tests.dir/subgroups_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/subgroups_test.cc.o.d"
+  "/root/repo/tests/table_ops_test.cc" "tests/CMakeFiles/mesa_tests.dir/table_ops_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/table_ops_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/mesa_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/mesa_tests.dir/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mesa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
