@@ -56,6 +56,26 @@ void Run() {
   RunDataset(DatasetKind::kStackOverflow, {5000, 10000, 20000, 47623});
   RunDataset(DatasetKind::kFlights, {25000, 50000, 100000, 200000, 400000});
   RunDataset(DatasetKind::kForbes, {400, 800, 1647});
+
+  // Thread sweep: the same prepare+MCIMR pipeline at 1 / 2 / N pool
+  // threads (bit-identical explanations; only wall time moves). Each run
+  // builds a fresh QueryAnalysis so caches never carry across timings.
+  {
+    auto ds = MakeDataset(DatasetKind::kStackOverflow, GenOptions{20000});
+    MESA_CHECK(ds.ok());
+    const QuerySpec query =
+        CanonicalQueries(DatasetKind::kStackOverflow)[0].query;
+    Mesa mesa(ds->table, ds->kg.get(), ds->extraction_columns);
+    MESA_CHECK(mesa.Preprocess().ok());
+    auto timings = TimeAtThreadCounts([&] {
+      auto pq = mesa.PrepareQuery(query);
+      MESA_CHECK(pq.ok());
+      RunMcimr(*pq->analysis, pq->candidate_indices);
+    });
+    std::printf("\n%s\n",
+                ThreadSweepJson("fig5_so20000_prepare_mcimr", timings).c_str());
+  }
+
   std::printf(
       "\nShape check (paper): MCIMR's own time grows sub-linearly for\n"
       "SO/Flights (big groups survive subsampling) and near-linearly for\n"

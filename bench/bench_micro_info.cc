@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "info/contingency.h"
 #include "info/independence.h"
@@ -123,6 +124,39 @@ void BM_IndependenceTest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_IndependenceTest)->Arg(10'000)->Arg(50'000);
+
+void BM_IndependenceTestThreadSweep(benchmark::State& state) {
+  // The permutation CI test at a fixed size across pool sizes: the
+  // speedup trajectory (1 / 2 / 4 / 8 threads) lands in the benchmark
+  // JSON. The p-value is bit-identical at every arg — only the wall time
+  // moves (hence UseRealTime: the work runs on pool threads).
+  const size_t n = 50'000;
+  Rng rng(7);
+  CodedVariable x, y, z = RandomVar(n, 4, 3);
+  x.cardinality = y.cardinality = 3;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t v = static_cast<int32_t>(rng.NextBelow(3));
+    x.codes.push_back(v);
+    y.codes.push_back(rng.NextBernoulli(0.6)
+                          ? v
+                          : static_cast<int32_t>(rng.NextBelow(3)));
+  }
+  IndependenceOptions opts;
+  opts.num_permutations = 49;
+  const size_t prev_threads = NumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalIndependenceTest(x, y, z, opts));
+  }
+  SetNumThreads(prev_threads);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_IndependenceTestThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace mesa

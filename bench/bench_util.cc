@@ -1,9 +1,12 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <thread>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/baselines/brute_force.h"
 #include "core/baselines/hypdb.h"
@@ -166,6 +169,40 @@ size_t BenchRows(DatasetKind kind) {
       return 0;  // paper default (1647)
   }
   return 0;
+}
+
+std::vector<ThreadTiming> TimeAtThreadCounts(
+    const std::function<void()>& fn, std::vector<size_t> thread_counts) {
+  if (thread_counts.empty()) {
+    unsigned hw = std::thread::hardware_concurrency();
+    size_t top = hw == 0 ? 4 : static_cast<size_t>(hw);
+    thread_counts = {1, 2};
+    if (top > 2) thread_counts.push_back(top);  // skip dup on small machines
+  }
+  const size_t prev = NumThreads();
+  std::vector<ThreadTiming> out;
+  for (size_t threads : thread_counts) {
+    SetNumThreads(threads);
+    Timer timer;
+    fn();
+    out.push_back({threads, timer.Seconds()});
+  }
+  SetNumThreads(prev);
+  return out;
+}
+
+std::string ThreadSweepJson(const std::string& label,
+                            const std::vector<ThreadTiming>& timings) {
+  std::string out = "{\"bench\":\"" + label + "\",\"thread_sweep\":[";
+  char buf[64];
+  for (size_t i = 0; i < timings.size(); ++i) {
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf), "{\"threads\":%zu,\"seconds\":%.6f}",
+                  timings[i].threads, timings[i].seconds);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 BenchWorld MakeBenchWorld(DatasetKind kind, size_t rows, MesaOptions options) {

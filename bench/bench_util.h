@@ -2,6 +2,7 @@
 #define MESA_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -82,6 +83,22 @@ BenchWorld MakeBenchWorld(DatasetKind kind, size_t rows = 0,
 /// Default row counts used by the report benches (kept below the paper's
 /// full sizes so the whole suite runs in minutes; Fig. 5 sweeps beyond).
 size_t BenchRows(DatasetKind kind);
+
+/// Wall-time of `fn` at each global pool size in `thread_counts`
+/// (default {1, 2, hardware_concurrency}), restoring the previous pool
+/// size afterwards. The parallel layer is deterministic, so each timing
+/// runs the same computation — the ratio IS the speedup.
+struct ThreadTiming {
+  size_t threads = 0;
+  double seconds = 0.0;
+};
+std::vector<ThreadTiming> TimeAtThreadCounts(
+    const std::function<void()>& fn, std::vector<size_t> thread_counts = {});
+
+/// One-line JSON record for the perf trajectory:
+/// {"bench":"<label>","thread_sweep":[{"threads":1,"seconds":...},...]}
+std::string ThreadSweepJson(const std::string& label,
+                            const std::vector<ThreadTiming>& timings);
 
 }  // namespace bench
 }  // namespace mesa

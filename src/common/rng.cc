@@ -21,6 +21,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  // One SplitMix64 step over a seed/index combination; the +1 keeps
+  // MixSeed(s, 0) distinct from the raw seed.
+  uint64_t x = seed + (index + 1) * 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);

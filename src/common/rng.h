@@ -8,6 +8,13 @@
 
 namespace mesa {
 
+/// Derives an independent stream seed from a base seed and a task index
+/// (SplitMix64 finalizer). The parallel hot paths give every unit of work
+/// — e.g. each permutation of the CI test — its own Rng seeded with
+/// MixSeed(options.seed, index), so results never depend on how work is
+/// split across threads.
+uint64_t MixSeed(uint64_t seed, uint64_t index);
+
 /// Deterministic, seedable pseudo-random number generator
 /// (xoshiro256**). Used throughout the synthetic data generators and the
 /// permutation-based independence tests so every experiment is exactly

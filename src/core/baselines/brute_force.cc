@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.h"
+
 namespace mesa {
 
 namespace {
@@ -52,8 +54,43 @@ Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
   best.base_cmi = analysis.BaseCmi();
   best.final_cmi = best.base_cmi;
   double best_objective = std::numeric_limits<double>::infinity();
+  const double inf = std::numeric_limits<double>::infinity();
 
-  // Enumerate subsets of each size k via the combinations odometer.
+  // Enumerate subsets of each size k via the combinations odometer, in
+  // blocks: each block's subsets are scored on the thread pool, then the
+  // winner is folded in serially in enumeration order — identical result
+  // to the fully serial scan.
+  constexpr size_t kBlock = 1024;
+  std::vector<std::vector<size_t>> block;
+  std::vector<double> block_cmi;
+  block.reserve(kBlock);
+  auto flush_block = [&] {
+    if (block.empty()) return;
+    block_cmi.assign(block.size(), inf);
+    ParallelFor(
+        0, block.size(),
+        [&](size_t bi) {
+          const std::vector<size_t>& subset = block[bi];
+          if (options.max_identification_fraction > 0.0 &&
+              analysis.IdentificationFraction(subset) >
+                  options.max_identification_fraction) {
+            return;  // guarded out; stays +inf
+          }
+          block_cmi[bi] = analysis.CmiGivenSet(subset);
+        },
+        analysis.options().num_threads);
+    for (size_t bi = 0; bi < block.size(); ++bi) {
+      if (block_cmi[bi] == inf) continue;
+      double objective =
+          block_cmi[bi] * static_cast<double>(block[bi].size());
+      if (objective < best_objective - 1e-12) {
+        best_objective = objective;
+        best.attribute_indices = block[bi];
+        best.final_cmi = block_cmi[bi];
+      }
+    }
+    block.clear();
+  };
   std::vector<size_t> pick;
   for (size_t k = 1; k <= std::min(options.max_size, n); ++k) {
     pick.assign(k, 0);
@@ -61,22 +98,12 @@ Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
     for (;;) {
       std::vector<size_t> subset(k);
       for (size_t i = 0; i < k; ++i) subset[i] = candidate_indices[pick[i]];
-      if (options.max_identification_fraction > 0.0 &&
-          analysis.IdentificationFraction(subset) >
-              options.max_identification_fraction) {
-        if (!NextCombination(pick, n)) break;
-        continue;
-      }
-      double cmi = analysis.CmiGivenSet(subset);
-      double objective = cmi * static_cast<double>(k);
-      if (objective < best_objective - 1e-12) {
-        best_objective = objective;
-        best.attribute_indices = subset;
-        best.final_cmi = cmi;
-      }
+      block.push_back(std::move(subset));
+      if (block.size() >= kBlock) flush_block();
       if (!NextCombination(pick, n)) break;
     }
   }
+  flush_block();
 
   best.attribute_names.clear();
   for (size_t s : best.attribute_indices) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/baselines/brute_force.h"
 #include "core/responsibility.h"
@@ -35,21 +36,30 @@ Result<Explanation> RunHypDb(const QueryAnalysis& analysis,
   // for the plug-in MI's chance level ~ (K_e-1)(K_x-1) / (2 N ln 2).
   const double ln2 = 0.6931471805599453;
   const double n = static_cast<double>(t.codes.size());
+  // The two dependence tests are independent per attribute; evaluate them
+  // concurrently and collect the survivors in pool order.
+  std::vector<char> passes(pool.size(), 0);
+  ParallelFor(
+      0, pool.size(),
+      [&](size_t i) {
+        const PreparedAttribute& attr = analysis.attributes()[pool[i]];
+        const std::vector<double>* w =
+            attr.weights.empty() ? nullptr : &attr.weights;
+        double ke = std::max(1, attr.coded.cardinality - 1);
+        double bias_t = ke * std::max(1, t.cardinality - 1) / (2.0 * n * ln2);
+        double bias_o = ke * std::max(1, o.cardinality - 1) / (2.0 * n * ln2);
+        double mi_et =
+            ConditionalMutualInformation(attr.coded, t, trivial, w, eopts);
+        if (mi_et <= options.dependence_epsilon + bias_t) return;
+        double mi_eo =
+            ConditionalMutualInformation(attr.coded, o, trivial, w, eopts);
+        if (mi_eo <= options.dependence_epsilon + bias_o) return;
+        passes[i] = 1;
+      },
+      analysis.options().num_threads);
   std::vector<size_t> confounders;
-  for (size_t idx : pool) {
-    const PreparedAttribute& attr = analysis.attributes()[idx];
-    const std::vector<double>* w =
-        attr.weights.empty() ? nullptr : &attr.weights;
-    double ke = std::max(1, attr.coded.cardinality - 1);
-    double bias_t = ke * std::max(1, t.cardinality - 1) / (2.0 * n * ln2);
-    double bias_o = ke * std::max(1, o.cardinality - 1) / (2.0 * n * ln2);
-    double mi_et =
-        ConditionalMutualInformation(attr.coded, t, trivial, w, eopts);
-    if (mi_et <= options.dependence_epsilon + bias_t) continue;
-    double mi_eo =
-        ConditionalMutualInformation(attr.coded, o, trivial, w, eopts);
-    if (mi_eo <= options.dependence_epsilon + bias_o) continue;
-    confounders.push_back(idx);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (passes[i]) confounders.push_back(pool[i]);
   }
 
   Explanation ex;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace mesa {
 
 Explanation RunTopK(const QueryAnalysis& analysis,
@@ -10,11 +12,16 @@ Explanation RunTopK(const QueryAnalysis& analysis,
   ex.base_cmi = analysis.BaseCmi();
   ex.final_cmi = ex.base_cmi;
 
-  std::vector<std::pair<double, size_t>> scored;
-  scored.reserve(candidate_indices.size());
-  for (size_t idx : candidate_indices) {
-    scored.emplace_back(analysis.CmiGivenAttribute(idx), idx);
-  }
+  // Per-candidate scores are independent; the sort key (score, index) is
+  // unique, so the ranking is deterministic at any thread count.
+  std::vector<std::pair<double, size_t>> scored(candidate_indices.size());
+  ParallelFor(
+      0, candidate_indices.size(),
+      [&](size_t i) {
+        size_t idx = candidate_indices[i];
+        scored[i] = {analysis.CmiGivenAttribute(idx), idx};
+      },
+      analysis.options().num_threads);
   std::sort(scored.begin(), scored.end());
   for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
     ex.attribute_indices.push_back(scored[i].second);

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace mesa {
 
@@ -56,34 +57,58 @@ Result<QueryAnalysis> QueryAnalysis::Prepare(
     ipw.covariates = {query.exposure, query.outcome};
   }
 
+  // Candidate preparation (discretization, selection-bias detection, IPW
+  // weight fitting) is independent per attribute: fan out over the pool
+  // into order-stable slots, then assemble serially. The first error in
+  // candidate order wins, matching the serial loop.
+  std::vector<std::string> names;
   for (const std::string& name : candidates) {
     if (name == query.outcome || query.IsExposure(name)) continue;
-    MESA_ASSIGN_OR_RETURN(const Column* col,
-                          qa.context_table_.ColumnByName(name));
-    PreparedAttribute attr;
-    attr.name = name;
-    attr.from_kg = kg_set.count(name) > 0;
-    attr.missing_fraction = col->null_fraction();
-    MESA_ASSIGN_OR_RETURN(
-        Discretized d,
-        DiscretizeColumn(qa.context_table_, name, options.discretizer));
-    attr.coded = CodedVariable{std::move(d.codes), d.cardinality};
+    names.push_back(name);
+  }
+  std::vector<Status> statuses(names.size());
+  std::vector<PreparedAttribute> prepared(names.size());
+  ParallelFor(
+      0, names.size(),
+      [&](size_t ci) {
+        statuses[ci] = [&]() -> Status {
+          const std::string& name = names[ci];
+          MESA_ASSIGN_OR_RETURN(const Column* col,
+                                qa.context_table_.ColumnByName(name));
+          PreparedAttribute attr;
+          attr.name = name;
+          attr.from_kg = kg_set.count(name) > 0;
+          attr.missing_fraction = col->null_fraction();
+          MESA_ASSIGN_OR_RETURN(
+              Discretized d,
+              DiscretizeColumn(qa.context_table_, name, options.discretizer));
+          attr.coded = CodedVariable{std::move(d.codes), d.cardinality};
 
-    if (options.handle_selection_bias && col->null_count() > 0) {
-      SelectionBiasOptions bias = options.bias;
-      bias.outcome_codes = &qa.outcome_;
-      bias.exposure_codes = &qa.exposure_;
-      MESA_ASSIGN_OR_RETURN(
-          SelectionBiasReport report,
-          DetectSelectionBias(qa.context_table_, name, query.outcome,
-                              query.exposure, bias));
-      attr.selection_biased = report.biased;
-      if (report.biased) {
-        MESA_ASSIGN_OR_RETURN(IpwWeights w,
-                              ComputeIpwWeights(qa.context_table_, name, ipw));
-        attr.weights = std::move(w.weights);
-      }
-    }
+          if (options.handle_selection_bias && col->null_count() > 0) {
+            SelectionBiasOptions bias = options.bias;
+            bias.outcome_codes = &qa.outcome_;
+            bias.exposure_codes = &qa.exposure_;
+            MESA_ASSIGN_OR_RETURN(
+                SelectionBiasReport report,
+                DetectSelectionBias(qa.context_table_, name, query.outcome,
+                                    query.exposure, bias));
+            attr.selection_biased = report.biased;
+            if (report.biased) {
+              MESA_ASSIGN_OR_RETURN(
+                  IpwWeights w,
+                  ComputeIpwWeights(qa.context_table_, name, ipw));
+              attr.weights = std::move(w.weights);
+            }
+          }
+          prepared[ci] = std::move(attr);
+          return Status::OK();
+        }();
+      },
+      options.num_threads);
+  for (const Status& st : statuses) {
+    MESA_RETURN_IF_ERROR(st);
+  }
+  for (PreparedAttribute& attr : prepared) {
     qa.attribute_index_.emplace(attr.name, qa.attributes_.size());
     qa.attributes_.push_back(std::move(attr));
   }
@@ -111,13 +136,17 @@ int QueryAnalysis::FindAttribute(const std::string& name) const {
 
 double QueryAnalysis::CmiGivenAttribute(size_t index) const {
   MESA_CHECK(index < attributes_.size());
-  double cached = single_cmi_cache_[index];
-  if (!std::isnan(cached)) return cached;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    double cached = single_cmi_cache_[index];
+    if (!std::isnan(cached)) return cached;
+  }
   const PreparedAttribute& attr = attributes_[index];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
   double v = ConditionalMutualInformation(outcome_, exposure_, attr.coded, w,
                                           options_.entropy);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   ++evaluations_;
   single_cmi_cache_[index] = v;
   return v;
@@ -152,8 +181,11 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
     key += std::to_string(i);
     key += ',';
   }
-  auto it = set_cmi_cache_.find(key);
-  if (it != set_cmi_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    auto it = set_cmi_cache_.find(key);
+    if (it != set_cmi_cache_.end()) return it->second;
+  }
 
   std::vector<const CodedVariable*> parts;
   parts.reserve(sorted.size());
@@ -162,6 +194,7 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
   std::vector<double> w = CombinedWeights(sorted);
   double v = ConditionalMutualInformation(
       outcome_, exposure_, z, w.empty() ? nullptr : &w, options_.entropy);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   ++evaluations_;
   set_cmi_cache_.emplace(std::move(key), v);
   return v;
@@ -169,12 +202,16 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
 
 double QueryAnalysis::AttributeEntropy(size_t i) const {
   MESA_CHECK(i < attributes_.size());
-  double cached = entropy_cache_[i];
-  if (!std::isnan(cached)) return cached;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    double cached = entropy_cache_[i];
+    if (!std::isnan(cached)) return cached;
+  }
   const PreparedAttribute& attr = attributes_[i];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
   double h = Entropy(attr.coded, w, options_.entropy);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   entropy_cache_[i] = h;
   return h;
 }
@@ -187,7 +224,10 @@ double QueryAnalysis::NormalizedRedundancy(size_t a, size_t b) const {
 
 bool QueryAnalysis::IsExposureTrap(size_t i) const {
   MESA_CHECK(i < attributes_.size());
-  if (trap_cache_[i] >= 0) return trap_cache_[i] != 0;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    if (trap_cache_[i] >= 0) return trap_cache_[i] != 0;
+  }
   const PreparedAttribute& attr = attributes_[i];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
@@ -221,6 +261,7 @@ bool QueryAnalysis::IsExposureTrap(size_t i) const {
     trap = IdentificationFraction({i}) > kMaxIdentification;
   }
 
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   trap_cache_[i] = trap ? 1 : 0;
   return trap;
 }
@@ -235,8 +276,11 @@ double QueryAnalysis::IdentificationFraction(
     key += std::to_string(i);
     key += ',';
   }
-  auto it = ident_cache_.find(key);
-  if (it != ident_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    auto it = ident_cache_.find(key);
+    if (it != ident_cache_.end()) return it->second;
+  }
 
   std::vector<const CodedVariable*> parts;
   for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
@@ -276,6 +320,7 @@ double QueryAnalysis::IdentificationFraction(
                     ? 1.0
                     : static_cast<double>(identified) /
                           static_cast<double>(observed);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   ident_cache_.emplace(std::move(key), frac);
   return frac;
 }
@@ -284,13 +329,17 @@ double QueryAnalysis::PairwiseMi(size_t a, size_t b) const {
   MESA_CHECK(a < attributes_.size() && b < attributes_.size());
   if (a > b) std::swap(a, b);
   uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
-  auto it = pair_mi_cache_.find(key);
-  if (it != pair_mi_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    auto it = pair_mi_cache_.find(key);
+    if (it != pair_mi_cache_.end()) return it->second;
+  }
   // Weighted when either side carries IPW weights (Proposition 3.3's
   // conditions fail exactly when missingness depends on the values).
   std::vector<double> w = CombinedWeights({a, b});
   double v = MutualInformation(attributes_[a].coded, attributes_[b].coded,
                                w.empty() ? nullptr : &w, options_.entropy);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
   ++evaluations_;
   pair_mi_cache_.emplace(key, v);
   return v;

@@ -1,6 +1,8 @@
 #ifndef MESA_CORE_CANDIDATES_H_
 #define MESA_CORE_CANDIDATES_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +41,12 @@ struct PrepareOptions {
   SelectionBiasOptions bias;
   IpwOptions ipw;  ///< covariates default to {exposure, outcome} if empty.
   EntropyOptions entropy;
+  /// Concurrency cap for this analysis's parallel paths (candidate
+  /// preparation and the score caches' fan-out callers). 0 = the global
+  /// pool size (MESA_NUM_THREADS env var / SetNumThreads). Results are
+  /// bit-identical at any setting — this is a resource knob, not a
+  /// semantics knob (see common/parallel.h).
+  size_t num_threads = 0;
 };
 
 /// Everything the explanation algorithms need about one query over one
@@ -119,8 +127,13 @@ class QueryAnalysis {
   double IdentificationFraction(const std::vector<size_t>& indices) const;
 
   /// Count of calls that actually computed (not served from cache); lets
-  /// the benchmarks report estimator work.
-  size_t estimator_evaluations() const { return evaluations_; }
+  /// the benchmarks report estimator work. Under concurrent scoring two
+  /// threads may race to compute the same (pure, identical) value before
+  /// either caches it, so this is an upper bound on distinct evaluations.
+  size_t estimator_evaluations() const {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    return evaluations_;
+  }
 
  private:
   /// Combined IPW weights for a set (product of each member's weights;
@@ -138,6 +151,13 @@ class QueryAnalysis {
   std::unordered_map<std::string, size_t> attribute_index_;
   double base_cmi_ = 0.0;
 
+  /// Guards every cache below. The scoring loops of MCIMR and the
+  /// baselines run concurrently over one analysis; lookups and inserts are
+  /// serialized but the estimator computations themselves run outside the
+  /// lock (a lost race recomputes the same pure value — harmless).
+  /// shared_ptr keeps QueryAnalysis movable.
+  mutable std::shared_ptr<std::mutex> cache_mu_ =
+      std::make_shared<std::mutex>();
   mutable std::vector<double> single_cmi_cache_;
   mutable std::vector<double> entropy_cache_;
   mutable std::unordered_map<uint64_t, double> pair_mi_cache_;

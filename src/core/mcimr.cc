@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/parallel.h"
 #include "info/contingency.h"
 
 namespace mesa {
@@ -21,41 +22,53 @@ int NextBestAttribute(const QueryAnalysis& analysis,
                       const std::vector<size_t>& candidates,
                       const std::vector<size_t>& selected,
                       const McimrOptions& options, double* score_out) {
-  int best = -1;
-  double best_score = std::numeric_limits<double>::infinity();
   // The redundancy penalty is scaled into CMI units: a fully redundant
   // attribute (normalised redundancy 1) costs as much as zero explanatory
   // progress.
   const double red_scale = options.redundancy_weight * analysis.BaseCmi();
-  for (size_t cand : candidates) {
-    if (std::find(selected.begin(), selected.end(), cand) != selected.end()) {
-      continue;
-    }
-    // Min-CI term: I(O;T|C,E). Individually unimportant attributes are
-    // excluded outright (Key Assumption, §2.2), as are single-attribute
-    // exposure identifiers (Lemma A.2).
-    double v1 = analysis.CmiGivenAttribute(cand);
-    if (v1 > analysis.BaseCmi() *
-                 (1.0 - options.individual_relevance_margin)) {
-      continue;
-    }
-    if (options.exclude_exposure_traps && analysis.IsExposureTrap(cand)) {
-      continue;
-    }
-    // Min-Redundancy term: mean redundancy against selected attributes.
-    double v2 = 0.0;
-    if (options.use_redundancy_term && !selected.empty()) {
-      for (size_t s : selected) {
-        v2 += options.normalize_redundancy
-                  ? red_scale * analysis.NormalizedRedundancy(cand, s)
-                  : analysis.PairwiseMi(cand, s);
-      }
-      v2 /= static_cast<double>(selected.size());
-    }
-    double score = v1 + v2;
-    if (score < best_score) {
-      best_score = score;
-      best = static_cast<int>(cand);
+  const double inf = std::numeric_limits<double>::infinity();
+  // Score every candidate concurrently (ineligible ones stay at +inf),
+  // then take the argmin serially in candidate order — the same value and
+  // tie-breaking as a serial scan, at any thread count.
+  std::vector<double> scores(candidates.size(), inf);
+  ParallelFor(
+      0, candidates.size(),
+      [&](size_t k) {
+        size_t cand = candidates[k];
+        if (std::find(selected.begin(), selected.end(), cand) !=
+            selected.end()) {
+          return;
+        }
+        // Min-CI term: I(O;T|C,E). Individually unimportant attributes are
+        // excluded outright (Key Assumption, §2.2), as are single-attribute
+        // exposure identifiers (Lemma A.2).
+        double v1 = analysis.CmiGivenAttribute(cand);
+        if (v1 > analysis.BaseCmi() *
+                     (1.0 - options.individual_relevance_margin)) {
+          return;
+        }
+        if (options.exclude_exposure_traps && analysis.IsExposureTrap(cand)) {
+          return;
+        }
+        // Min-Redundancy term: mean redundancy against selected attributes.
+        double v2 = 0.0;
+        if (options.use_redundancy_term && !selected.empty()) {
+          for (size_t s : selected) {
+            v2 += options.normalize_redundancy
+                      ? red_scale * analysis.NormalizedRedundancy(cand, s)
+                      : analysis.PairwiseMi(cand, s);
+          }
+          v2 /= static_cast<double>(selected.size());
+        }
+        scores[k] = v1 + v2;
+      },
+      analysis.options().num_threads);
+  int best = -1;
+  double best_score = inf;
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    if (scores[k] < best_score) {
+      best_score = scores[k];
+      best = static_cast<int>(candidates[k]);
     }
   }
   if (score_out != nullptr) *score_out = best_score;

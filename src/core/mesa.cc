@@ -20,7 +20,11 @@ Mesa::Mesa(Table base_table, const TripleStore* kg,
     : base_table_(std::move(base_table)),
       kg_(kg),
       extraction_columns_(std::move(extraction_columns)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (options_.prepare.num_threads == 0) {
+    options_.prepare.num_threads = options_.num_threads;
+  }
+}
 
 Status Mesa::Preprocess() {
   if (preprocessed_) return Status::OK();

@@ -25,6 +25,11 @@ struct MesaOptions {
   OnlinePruneOptions online_prune;
   PrepareOptions prepare;
   McimrOptions mcimr;
+  /// Concurrency cap for this instance's parallel paths (copied into
+  /// prepare.num_threads when that is 0). 0 = the global pool size
+  /// (MESA_NUM_THREADS env var / SetNumThreads). Explanations are
+  /// bit-identical at any value — see common/parallel.h.
+  size_t num_threads = 0;
 };
 
 /// Everything MESA produces for one query.

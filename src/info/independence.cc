@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "stats/distributions.h"
 
 namespace mesa {
@@ -44,21 +45,44 @@ IndependenceResult ConditionalIndependenceTest(
     strata[z.codes[i]].push_back(i);
   }
 
-  Rng rng(options.seed);
-  size_t at_least = 0;
-  CodedVariable xp = x;
-  for (size_t perm = 0; perm < options.num_permutations; ++perm) {
-    // Shuffle X within each stratum.
-    for (auto& [code, rows] : strata) {
-      (void)code;
-      for (size_t i = rows.size(); i > 1; --i) {
-        size_t j = static_cast<size_t>(rng.NextBelow(i));
-        std::swap(xp.codes[rows[i - 1]], xp.codes[rows[j]]);
-      }
+  // Deterministic order of strata for the shuffle (unordered_map iteration
+  // order is not specified, so pin it down once).
+  std::vector<const std::vector<size_t>*> stratum_rows;
+  {
+    std::vector<int32_t> codes;
+    codes.reserve(strata.size());
+    for (const auto& [code, rows] : strata) {
+      (void)rows;
+      codes.push_back(code);
     }
-    double cmi = ConditionalMutualInformation(xp, y, z);
-    if (cmi >= result.cmi) ++at_least;
+    std::sort(codes.begin(), codes.end());
+    for (int32_t code : codes) stratum_rows.push_back(&strata.at(code));
   }
+
+  // Each permutation shuffles a fresh copy of X with its own RNG seeded
+  // MixSeed(options.seed, perm): permutations are independent of each other
+  // and of the execution order, so the p-value is bit-identical whether the
+  // loop runs serially or on any number of threads.
+  const double observed_cmi = result.cmi;
+  const size_t at_least = ParallelMapReduce<size_t>(
+      0, options.num_permutations, 0,
+      [&](size_t perm) -> size_t {
+        // Per-thread scratch: reset to X each permutation, so the result
+        // never depends on which chunk this index landed in.
+        thread_local CodedVariable xp;
+        xp.codes = x.codes;
+        xp.cardinality = x.cardinality;
+        Rng rng(MixSeed(options.seed, perm));
+        for (const std::vector<size_t>* rows : stratum_rows) {
+          for (size_t i = rows->size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(rng.NextBelow(i));
+            std::swap(xp.codes[(*rows)[i - 1]], xp.codes[(*rows)[j]]);
+          }
+        }
+        double cmi = ConditionalMutualInformation(xp, y, z);
+        return cmi >= observed_cmi ? 1 : 0;
+      },
+      [](size_t a, size_t b) { return a + b; });
   result.p_value = static_cast<double>(1 + at_least) /
                    static_cast<double>(1 + options.num_permutations);
   result.independent = result.p_value >= options.alpha;

@@ -43,6 +43,11 @@ struct IndependenceOptions {
 /// permuted samples preserve the X-Z and Y-Z relations while breaking any
 /// conditional X-Y dependence. p-value = (1 + #{perm CMI >= observed}) /
 /// (1 + permutations).
+///
+/// Permutation `i` shuffles a fresh copy of X with an Rng seeded
+/// MixSeed(options.seed, i); the permutations run on the global thread pool
+/// (see common/parallel.h) and the p-value is bit-identical at any thread
+/// count, including 1.
 IndependenceResult ConditionalIndependenceTest(
     const CodedVariable& x, const CodedVariable& y, const CodedVariable& z,
     const IndependenceOptions& options = {});

@@ -402,5 +402,54 @@ TEST(Independence, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.p_value, b.p_value);
 }
 
+TEST(Independence, GoldenPValuesPinPerPermutationRngScheme) {
+  // Regression goldens for the permutation RNG refactor: permutation i
+  // shuffles a fresh copy of X with Rng(MixSeed(seed, i)) instead of one
+  // generator mutated across the loop. Any change to the shuffle order,
+  // the seed derivation, or the stratum iteration order moves these exact
+  // p-values.
+  Rng rng(91);
+  std::vector<int32_t> xs, ys, zs;
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(static_cast<int32_t>(rng.NextBelow(4)));
+    ys.push_back(static_cast<int32_t>(rng.NextBelow(4)));
+    zs.push_back(static_cast<int32_t>(rng.NextBelow(3)));
+  }
+  CodedVariable x = MakeVar(xs, 4), y = MakeVar(ys, 4), z = MakeVar(zs, 3);
+
+  IndependenceOptions opts;  // seed 0xC0FFEE, 99 permutations
+  auto r = ConditionalIndependenceTest(x, y, z, opts);
+  EXPECT_DOUBLE_EQ(r.cmi, 0.039858696961645679);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.77);
+  EXPECT_TRUE(r.independent);
+
+  opts.seed = 12345;  // different seed, different permutation set
+  EXPECT_DOUBLE_EQ(ConditionalIndependenceTest(x, y, z, opts).p_value, 0.73);
+
+  opts.seed = 0xC0FFEE;
+  opts.num_permutations = 199;  // prefix property does NOT hold (p changes)
+  EXPECT_DOUBLE_EQ(ConditionalIndependenceTest(x, y, z, opts).p_value, 0.76);
+
+  // A clearly dependent pair bottoms out at the permutation floor
+  // 1 / (1 + num_permutations) regardless of the RNG scheme.
+  Rng rng2(61);
+  std::vector<int32_t> dx, dy;
+  for (int i = 0; i < 500; ++i) {
+    int32_t v = static_cast<int32_t>(rng2.NextBelow(3));
+    dx.push_back(v);
+    dy.push_back(rng2.NextBernoulli(0.25) ? v
+                                          : static_cast<int32_t>(rng2.NextBelow(3)));
+  }
+  std::vector<int32_t> dz;
+  for (int i = 0; i < 500; ++i) {
+    dz.push_back(static_cast<int32_t>(rng2.NextBelow(2)));
+  }
+  IndependenceOptions dopts;
+  auto dep = ConditionalIndependenceTest(MakeVar(dx, 3), MakeVar(dy, 3),
+                                         MakeVar(dz, 2), dopts);
+  EXPECT_DOUBLE_EQ(dep.p_value, 0.01);
+  EXPECT_FALSE(dep.independent);
+}
+
 }  // namespace
 }  // namespace mesa
