@@ -19,6 +19,11 @@ struct VariantTimes {
   double no_pruning = 0.0;
   double offline_only = 0.0;
   double full = 0.0;
+  // CMI-estimator evaluations per variant (the paper's cost unit; what
+  // pruning actually saves). Zero when built with MESA_METRICS=OFF.
+  uint64_t no_pruning_evals = 0;
+  uint64_t offline_only_evals = 0;
+  uint64_t full_evals = 0;
 };
 
 VariantTimes TimeAtWidth(DatasetKind kind, size_t rows, size_t noise_attrs) {
@@ -30,34 +35,40 @@ VariantTimes TimeAtWidth(DatasetKind kind, size_t rows, size_t noise_attrs) {
   const QuerySpec query = CanonicalQueries(kind)[0].query;
 
   VariantTimes out;
-  auto run = [&](bool offline, bool online, double* seconds) {
+  auto run = [&](bool offline, bool online, double* seconds,
+                 uint64_t* evals) {
     MesaOptions options;
     options.enable_offline_pruning = offline;
     options.enable_online_pruning = online;
     Mesa mesa(ds->table, ds->kg.get(), ds->extraction_columns, options);
+    EvalCounts before = ReadEvalCounts();
     Timer timer;
     auto rep = mesa.Explain(query);
     MESA_CHECK(rep.ok());
     *seconds = timer.Seconds();
+    *evals = (ReadEvalCounts() - before).cmi;
     out.candidates = std::max(out.candidates, rep->candidates_total);
   };
-  run(false, false, &out.no_pruning);
-  run(true, false, &out.offline_only);
-  run(true, true, &out.full);
+  run(false, false, &out.no_pruning, &out.no_pruning_evals);
+  run(true, false, &out.offline_only, &out.offline_only_evals);
+  run(true, true, &out.full, &out.full_evals);
   return out;
 }
 
 void RunDataset(DatasetKind kind) {
   size_t rows = kind == DatasetKind::kFlights ? 40000 : BenchRows(kind);
   std::printf("\n--- %s (%zu rows) ---\n", DatasetKindName(kind), rows);
-  std::printf("  %s %s %s %s\n", Pad("#candidates", 12).c_str(),
+  std::printf("  %s %s %s %s %s\n", Pad("#candidates", 12).c_str(),
               Pad("No-Pruning", 12).c_str(), Pad("Offline", 12).c_str(),
-              Pad("MCIMR", 12).c_str());
+              Pad("MCIMR", 12).c_str(), Pad("cmi evals (np/off/full)", 24).c_str());
   for (size_t noise : {6u, 20u, 48u, 96u}) {
     VariantTimes t = TimeAtWidth(kind, rows, noise);
-    std::printf("  %s %-12.3f %-12.3f %-12.3f\n",
+    std::printf("  %s %-12.3f %-12.3f %-12.3f %llu/%llu/%llu\n",
                 Pad(std::to_string(t.candidates), 12).c_str(), t.no_pruning,
-                t.offline_only, t.full);
+                t.offline_only, t.full,
+                static_cast<unsigned long long>(t.no_pruning_evals),
+                static_cast<unsigned long long>(t.offline_only_evals),
+                static_cast<unsigned long long>(t.full_evals));
   }
 }
 

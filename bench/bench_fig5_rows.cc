@@ -5,11 +5,14 @@
 // preparation (coding, selection-bias detection, IPW, online pruning), and
 // `preproc_s` is the across-queries extraction + offline pruning.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "core/mcimr.h"
 
@@ -26,9 +29,9 @@ void RunDataset(DatasetKind kind, const std::vector<size_t>& row_counts) {
   const QuerySpec query = CanonicalQueries(kind)[0].query;
 
   std::printf("\n--- %s ---\n", DatasetKindName(kind));
-  std::printf("  %s %s %s %s\n", Pad("rows", 10).c_str(),
+  std::printf("  %s %s %s %s %s\n", Pad("rows", 10).c_str(),
               Pad("mcimr_s", 9).c_str(), Pad("analysis_s", 11).c_str(),
-              Pad("preproc_s", 10).c_str());
+              Pad("preproc_s", 10).c_str(), Pad("mcimr evals", 24).c_str());
   Rng rng(99);
   for (size_t rows : row_counts) {
     std::vector<size_t> idx = rng.Permutation(ds->table.num_rows());
@@ -42,12 +45,15 @@ void RunDataset(DatasetKind kind, const std::vector<size_t>& row_counts) {
     auto pq = mesa.PrepareQuery(query);
     MESA_CHECK(pq.ok());
     double analysis_s = analysis_timer.Seconds();
+    EvalCounts before = ReadEvalCounts();
     Timer mcimr_timer;
     Explanation ex = RunMcimr(*pq->analysis, pq->candidate_indices);
     (void)ex;
-    std::printf("  %s %-9.3f %-11.3f %-10.3f\n",
-                Pad(std::to_string(rows), 10).c_str(), mcimr_timer.Seconds(),
-                analysis_s, preproc_s);
+    double mcimr_s = mcimr_timer.Seconds();
+    std::printf("  %s %-9.3f %-11.3f %-10.3f %s\n",
+                Pad(std::to_string(rows), 10).c_str(), mcimr_s, analysis_s,
+                preproc_s,
+                EvalCountsToString(ReadEvalCounts() - before).c_str());
   }
 }
 
@@ -74,6 +80,54 @@ void Run() {
     });
     std::printf("\n%s\n",
                 ThreadSweepJson("fig5_so20000_prepare_mcimr", timings).c_str());
+  }
+
+  // Metrics overhead: the same prepare+MCIMR pipeline with the metrics
+  // runtime gate on vs off. Runs are interleaved A/B (so clock-frequency
+  // drift hits both arms equally), single-threaded (so scheduler noise
+  // doesn't swamp the signal), and compared at the median. The
+  // instrumentation budget is < 2% end-to-end wall time.
+  {
+    auto ds = MakeDataset(DatasetKind::kStackOverflow, GenOptions{20000});
+    MESA_CHECK(ds.ok());
+    const QuerySpec query =
+        CanonicalQueries(DatasetKind::kStackOverflow)[0].query;
+    Mesa mesa(ds->table, ds->kg.get(), ds->extraction_columns);
+    MESA_CHECK(mesa.Preprocess().ok());
+    const size_t prev_threads = NumThreads();
+    SetNumThreads(1);
+    auto once = [&] {
+      auto pq = mesa.PrepareQuery(query);
+      MESA_CHECK(pq.ok());
+      RunMcimr(*pq->analysis, pq->candidate_indices);
+    };
+    once();  // warm-up
+    constexpr size_t kReps = 11;
+    std::vector<double> on, off;
+    for (size_t i = 0; i < kReps; ++i) {
+      metrics::SetEnabled(true);
+      Timer t_on;
+      once();
+      on.push_back(t_on.Seconds());
+      metrics::SetEnabled(false);
+      Timer t_off;
+      once();
+      off.push_back(t_off.Seconds());
+    }
+    metrics::SetEnabled(true);
+    SetNumThreads(prev_threads);
+    std::sort(on.begin(), on.end());
+    std::sort(off.begin(), off.end());
+    double with_metrics = on[kReps / 2];
+    double without_metrics = off[kReps / 2];
+    std::printf(
+        "\nmetrics overhead (so, 20000 rows, prepare+mcimr, 1 thread,\n"
+        "interleaved A/B, median of %zu):\n"
+        "  enabled %.3fs, disabled %.3fs -> %+0.2f%% (budget: < 2%%)\n",
+        kReps, with_metrics, without_metrics,
+        without_metrics > 0.0
+            ? 100.0 * (with_metrics - without_metrics) / without_metrics
+            : 0.0);
   }
 
   std::printf(

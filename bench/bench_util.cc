@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/baselines/brute_force.h"
@@ -203,6 +204,35 @@ std::string ThreadSweepJson(const std::string& label,
   }
   out += "]}";
   return out;
+}
+
+EvalCounts ReadEvalCounts() {
+  EvalCounts c;
+  c.cmi = metrics::CounterValue("info/cmi_evals");
+  c.mi = metrics::CounterValue("info/mi_evals");
+  c.entropy = metrics::CounterValue("info/entropy_evals");
+  c.ci_tests = metrics::CounterValue("info/ci_tests");
+  return c;
+}
+
+EvalCounts operator-(const EvalCounts& a, const EvalCounts& b) {
+  EvalCounts c;
+  c.cmi = a.cmi - b.cmi;
+  c.mi = a.mi - b.mi;
+  c.entropy = a.entropy - b.entropy;
+  c.ci_tests = a.ci_tests - b.ci_tests;
+  return c;
+}
+
+std::string EvalCountsToString(const EvalCounts& c) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "cmi=%llu mi=%llu H=%llu ci=%llu",
+                static_cast<unsigned long long>(c.cmi),
+                static_cast<unsigned long long>(c.mi),
+                static_cast<unsigned long long>(c.entropy),
+                static_cast<unsigned long long>(c.ci_tests));
+  return buf;
 }
 
 BenchWorld MakeBenchWorld(DatasetKind kind, size_t rows, MesaOptions options) {

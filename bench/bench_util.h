@@ -2,6 +2,7 @@
 #define MESA_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -99,6 +100,21 @@ std::vector<ThreadTiming> TimeAtThreadCounts(
 /// {"bench":"<label>","thread_sweep":[{"threads":1,"seconds":...},...]}
 std::string ThreadSweepJson(const std::string& label,
                             const std::vector<ThreadTiming>& timings);
+
+/// Estimator-evaluation counters read from the metrics registry (see
+/// docs/observability.md). All zero when the build has MESA_METRICS=OFF.
+/// Take a reading before and after a phase and subtract to attribute the
+/// work to that phase.
+struct EvalCounts {
+  uint64_t cmi = 0;       ///< info/cmi_evals
+  uint64_t mi = 0;        ///< info/mi_evals
+  uint64_t entropy = 0;   ///< info/entropy_evals
+  uint64_t ci_tests = 0;  ///< info/ci_tests
+};
+EvalCounts ReadEvalCounts();
+EvalCounts operator-(const EvalCounts& a, const EvalCounts& b);
+/// "cmi=812 mi=40 H=120 ci=6"
+std::string EvalCountsToString(const EvalCounts& c);
 
 }  // namespace bench
 }  // namespace mesa

@@ -1,0 +1,313 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mesa {
+namespace metrics {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(observed, observed + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (v < observed && !target->compare_exchange_weak(
+                             observed, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double observed = target->load(std::memory_order_relaxed);
+  while (v > observed && !target->compare_exchange_weak(
+                             observed, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Log-scale bucket index: 4 buckets per octave. Bucket 0 is the
+// underflow bucket for v <= 1 (and non-finite junk); bucket
+// 1 + 4*(exp-1) + quarter holds v = m * 2^exp with m in
+// [0.5 + quarter/8, 0.5 + (quarter+1)/8).
+size_t BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;
+  int exp = 0;
+  double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  int quarter = static_cast<int>((m - 0.5) * 8.0);
+  if (quarter < 0) quarter = 0;
+  if (quarter > 3) quarter = 3;
+  size_t index = 1 + 4 * static_cast<size_t>(exp - 1) +
+                 static_cast<size_t>(quarter);
+  return index < Distribution::kBuckets ? index : Distribution::kBuckets - 1;
+}
+
+// Representative value for a bucket (its geometric-ish midpoint).
+double BucketMidpoint(size_t index) {
+  if (index == 0) return 1.0;
+  size_t offset = index - 1;
+  int exp = static_cast<int>(offset / 4) + 1;
+  double mantissa = 0.5 + 0.125 * static_cast<double>(offset % 4) + 0.0625;
+  return std::ldexp(mantissa, exp);
+}
+
+std::atomic<bool> g_enabled{true};
+
+// Registry. Handles are pointers to heap nodes owned by the maps, so
+// they stay valid for the life of the process; Reset zeroes values in
+// place. Leaked on purpose (metrics may be touched during static
+// destruction of other objects).
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Distribution>>
+      distributions;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+struct TraceState {
+  std::string path;
+  // Span-site cache: full path -> distribution handle, so steady-state
+  // span exit is one hash lookup with no registry lock.
+  std::unordered_map<std::string, Distribution*> span_distributions;
+};
+
+TraceState& Tls() {
+  thread_local TraceState state;
+  return state;
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    *out += "0";  // min/max of an empty distribution; keep JSON valid
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      *out += '\\';
+      *out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+void Distribution::Record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Distribution::Stats Distribution::GetStats() const {
+  Stats stats;
+  uint64_t histogram[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    histogram[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += histogram[i];
+  }
+  stats.count = count_.load(std::memory_order_relaxed);
+  stats.sum = sum_.load(std::memory_order_relaxed);
+  if (total == 0) return stats;
+  stats.min = min_.load(std::memory_order_relaxed);
+  stats.max = max_.load(std::memory_order_relaxed);
+
+  auto quantile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += histogram[i];
+      if (seen > rank) {
+        double estimate = BucketMidpoint(i);
+        // The exact extremes bound the histogram's estimate.
+        if (estimate < stats.min) estimate = stats.min;
+        if (estimate > stats.max) estimate = stats.max;
+        return estimate;
+      }
+    }
+    return stats.max;
+  };
+  stats.p50 = quantile(0.50);
+  stats.p99 = quantile(0.99);
+  return stats;
+}
+
+void Distribution::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto& slot = registry.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Distribution& GetDistribution(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto& slot = registry.distributions[std::string(name)];
+  if (!slot) slot = std::make_unique<Distribution>();
+  return *slot;
+}
+
+uint64_t CounterValue(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.counters.find(std::string(name));
+  return it == registry.counters.end() ? 0 : it->second->Value();
+}
+
+Snapshot TakeSnapshot() {
+  Registry& registry = GetRegistry();
+  // Copy handles under the lock, read values outside it (reads are
+  // atomic and handles never die).
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Distribution*> distributions;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& [name, counter] : registry.counters) {
+      counters[name] = counter.get();
+    }
+    for (const auto& [name, distribution] : registry.distributions) {
+      distributions[name] = distribution.get();
+    }
+  }
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters.size());
+  for (const auto& [name, counter] : counters) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.distributions.reserve(distributions.size());
+  for (const auto& [name, distribution] : distributions) {
+    snapshot.distributions.emplace_back(name, distribution->GetStats());
+  }
+  return snapshot;
+}
+
+void ResetAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, counter] : registry.counters) counter->Reset();
+  for (auto& [name, distribution] : registry.distributions) {
+    distribution->Reset();
+  }
+}
+
+std::string ToJson(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(&out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"distributions\":{";
+  first = true;
+  char buf[64];
+  for (const auto& [name, stats] : snapshot.distributions) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(&out, name);
+    std::snprintf(buf, sizeof(buf), ":{\"count\":%llu,\"sum\":",
+                  static_cast<unsigned long long>(stats.count));
+    out += buf;
+    AppendJsonDouble(&out, stats.sum);
+    out += ",\"min\":";
+    AppendJsonDouble(&out, stats.min);
+    out += ",\"max\":";
+    AppendJsonDouble(&out, stats.max);
+    out += ",\"p50\":";
+    AppendJsonDouble(&out, stats.p50);
+    out += ",\"p99\":";
+    AppendJsonDouble(&out, stats.p99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SnapshotJson() { return ToJson(TakeSnapshot()); }
+
+const std::string& CurrentPath() { return Tls().path; }
+
+PathGuard::PathGuard(const std::string& path) {
+  saved_ = std::move(Tls().path);
+  Tls().path = path;
+}
+
+PathGuard::~PathGuard() { Tls().path = std::move(saved_); }
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+  if (!Enabled()) return;
+  active_ = true;
+  TraceState& state = Tls();
+  saved_length_ = state.path.size();
+  if (!state.path.empty()) state.path += '/';
+  state.path.append(name.data(), name.size());
+  start_ns_ = NowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  uint64_t elapsed = NowNanos() - start_ns_;
+  TraceState& state = Tls();
+  auto [it, inserted] = state.span_distributions.try_emplace(state.path);
+  if (inserted) it->second = &GetDistribution(state.path);
+  it->second->Record(static_cast<double>(elapsed));
+  state.path.resize(saved_length_);
+}
+
+}  // namespace metrics
+}  // namespace mesa

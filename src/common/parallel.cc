@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/metrics.h"
+
 namespace mesa {
 
 namespace {
@@ -88,8 +90,14 @@ void ThreadPool::Run(size_t num_tasks,
   state->remaining.store(num_tasks, std::memory_order_relaxed);
   state->errors.assign(num_tasks, nullptr);
 
+  // Helpers inherit the caller's span path so spans opened inside the
+  // task nest under the caller's trace no matter which thread runs them
+  // (span paths stay invariant to pool size; see common/metrics.h). The
+  // caller's own drain() below re-installs its current path, a no-op.
+  const std::string trace_path = metrics::CurrentPath();
   const std::function<void(size_t)>* task_ptr = &task;
-  auto drain = [state, task_ptr, num_tasks] {
+  auto drain = [state, task_ptr, num_tasks, trace_path] {
+    metrics::PathGuard trace_guard(trace_path);
     for (;;) {
       const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) return;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/metrics.h"
+
 #include "common/parallel.h"
 
 namespace mesa {
@@ -38,6 +40,7 @@ bool NextCombination(std::vector<size_t>& pick, size_t n) {
 Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
                                   const std::vector<size_t>& candidate_indices,
                                   const BruteForceOptions& options) {
+  MESA_SPAN("baseline_brute_force");
   const size_t n = candidate_indices.size();
   size_t total = 0;
   for (size_t k = 1; k <= std::min(options.max_size, n); ++k) {
@@ -66,6 +69,7 @@ Result<Explanation> RunBruteForce(const QueryAnalysis& analysis,
   block.reserve(kBlock);
   auto flush_block = [&] {
     if (block.empty()) return;
+    MESA_COUNT_N("baseline/brute_force_subsets", block.size());
     block_cmi.assign(block.size(), inf);
     ParallelFor(
         0, block.size(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/baselines/brute_force.h"
@@ -12,6 +13,7 @@ namespace mesa {
 Result<Explanation> RunHypDb(const QueryAnalysis& analysis,
                              const std::vector<size_t>& candidate_indices,
                              const HypDbOptions& options) {
+  MESA_SPAN("baseline_hypdb");
   // Cap the candidate pool by uniform sampling, as the paper did to make
   // HypDB terminate.
   std::vector<size_t> pool = candidate_indices;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "stats/ols.h"
 
 namespace mesa {
@@ -10,6 +11,7 @@ namespace mesa {
 Result<Explanation> RunLrExplainer(
     const QueryAnalysis& analysis, const std::vector<size_t>& candidate_indices,
     const LrExplainerOptions& options) {
+  MESA_SPAN("baseline_lr");
   Explanation ex;
   ex.base_cmi = analysis.BaseCmi();
   ex.final_cmi = ex.base_cmi;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace mesa {
 
 Explanation RunTopK(const QueryAnalysis& analysis,
                     const std::vector<size_t>& candidate_indices, size_t k) {
+  MESA_SPAN("baseline_topk");
   Explanation ex;
   ex.base_cmi = analysis.BaseCmi();
   ex.final_cmi = ex.base_cmi;

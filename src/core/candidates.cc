@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace mesa {
@@ -66,6 +67,8 @@ Result<QueryAnalysis> QueryAnalysis::Prepare(
     if (name == query.outcome || query.IsExposure(name)) continue;
     names.push_back(name);
   }
+  MESA_SPAN("qa_prepare");
+  MESA_COUNT_N("qa/candidates_prepared", names.size());
   std::vector<Status> statuses(names.size());
   std::vector<PreparedAttribute> prepared(names.size());
   ParallelFor(
@@ -139,16 +142,26 @@ double QueryAnalysis::CmiGivenAttribute(size_t index) const {
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     double cached = single_cmi_cache_[index];
-    if (!std::isnan(cached)) return cached;
+    if (!std::isnan(cached)) {
+      MESA_COUNT("qa/single_cmi/hit");
+      return cached;
+    }
   }
+  MESA_COUNT("qa/single_cmi/miss");
   const PreparedAttribute& attr = attributes_[index];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
   double v = ConditionalMutualInformation(outcome_, exposure_, attr.coded, w,
                                           options_.entropy);
   std::lock_guard<std::mutex> lock(*cache_mu_);
-  ++evaluations_;
-  single_cmi_cache_[index] = v;
+  // Two threads may race to compute the same entry; only the first store
+  // counts, so evaluations_ is exactly the number of distinct cached
+  // computations regardless of thread count. (The racers computed the
+  // same deterministic value, so either store is fine.)
+  if (std::isnan(single_cmi_cache_[index])) {
+    ++evaluations_;
+    single_cmi_cache_[index] = v;
+  }
   return v;
 }
 
@@ -184,8 +197,12 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     auto it = set_cmi_cache_.find(key);
-    if (it != set_cmi_cache_.end()) return it->second;
+    if (it != set_cmi_cache_.end()) {
+      MESA_COUNT("qa/set_cmi/hit");
+      return it->second;
+    }
   }
+  MESA_COUNT("qa/set_cmi/miss");
 
   std::vector<const CodedVariable*> parts;
   parts.reserve(sorted.size());
@@ -195,9 +212,10 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
   double v = ConditionalMutualInformation(
       outcome_, exposure_, z, w.empty() ? nullptr : &w, options_.entropy);
   std::lock_guard<std::mutex> lock(*cache_mu_);
-  ++evaluations_;
-  set_cmi_cache_.emplace(std::move(key), v);
-  return v;
+  // Count only the insert that wins a compute race (see CmiGivenAttribute).
+  auto [it, inserted] = set_cmi_cache_.emplace(std::move(key), v);
+  if (inserted) ++evaluations_;
+  return it->second;
 }
 
 double QueryAnalysis::AttributeEntropy(size_t i) const {
@@ -205,8 +223,12 @@ double QueryAnalysis::AttributeEntropy(size_t i) const {
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     double cached = entropy_cache_[i];
-    if (!std::isnan(cached)) return cached;
+    if (!std::isnan(cached)) {
+      MESA_COUNT("qa/entropy/hit");
+      return cached;
+    }
   }
+  MESA_COUNT("qa/entropy/miss");
   const PreparedAttribute& attr = attributes_[i];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
@@ -226,8 +248,12 @@ bool QueryAnalysis::IsExposureTrap(size_t i) const {
   MESA_CHECK(i < attributes_.size());
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
-    if (trap_cache_[i] >= 0) return trap_cache_[i] != 0;
+    if (trap_cache_[i] >= 0) {
+      MESA_COUNT("qa/trap/hit");
+      return trap_cache_[i] != 0;
+    }
   }
+  MESA_COUNT("qa/trap/miss");
   const PreparedAttribute& attr = attributes_[i];
   const std::vector<double>* w =
       attr.weights.empty() ? nullptr : &attr.weights;
@@ -279,8 +305,12 @@ double QueryAnalysis::IdentificationFraction(
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     auto it = ident_cache_.find(key);
-    if (it != ident_cache_.end()) return it->second;
+    if (it != ident_cache_.end()) {
+      MESA_COUNT("qa/ident/hit");
+      return it->second;
+    }
   }
+  MESA_COUNT("qa/ident/miss");
 
   std::vector<const CodedVariable*> parts;
   for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
@@ -332,17 +362,22 @@ double QueryAnalysis::PairwiseMi(size_t a, size_t b) const {
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     auto it = pair_mi_cache_.find(key);
-    if (it != pair_mi_cache_.end()) return it->second;
+    if (it != pair_mi_cache_.end()) {
+      MESA_COUNT("qa/pair_mi/hit");
+      return it->second;
+    }
   }
+  MESA_COUNT("qa/pair_mi/miss");
   // Weighted when either side carries IPW weights (Proposition 3.3's
   // conditions fail exactly when missingness depends on the values).
   std::vector<double> w = CombinedWeights({a, b});
   double v = MutualInformation(attributes_[a].coded, attributes_[b].coded,
                                w.empty() ? nullptr : &w, options_.entropy);
   std::lock_guard<std::mutex> lock(*cache_mu_);
-  ++evaluations_;
-  pair_mi_cache_.emplace(key, v);
-  return v;
+  // Count only the insert that wins a compute race (see CmiGivenAttribute).
+  auto [it, inserted] = pair_mi_cache_.emplace(key, v);
+  if (inserted) ++evaluations_;
+  return it->second;
 }
 
 }  // namespace mesa

@@ -126,10 +126,12 @@ class QueryAnalysis {
   /// sets whose identification fraction is too high (cached by index set).
   double IdentificationFraction(const std::vector<size_t>& indices) const;
 
-  /// Count of calls that actually computed (not served from cache); lets
-  /// the benchmarks report estimator work. Under concurrent scoring two
-  /// threads may race to compute the same (pure, identical) value before
-  /// either caches it, so this is an upper bound on distinct evaluations.
+  /// Exact count of distinct CMI/MI estimator evaluations cached by this
+  /// analysis; lets the benchmarks report estimator work the way the
+  /// paper does. Under concurrent scoring two threads may race to compute
+  /// the same (pure, identical) entry, but only the store that wins the
+  /// cache insert is counted, so the count equals the serial count at any
+  /// thread count (asserted in tests/parallel_test.cc).
   size_t estimator_evaluations() const {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     return evaluations_;

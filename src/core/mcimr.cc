@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "info/contingency.h"
 
@@ -34,6 +35,7 @@ int NextBestAttribute(const QueryAnalysis& analysis,
   ParallelFor(
       0, candidates.size(),
       [&](size_t k) {
+        MESA_SPAN("score_candidate");
         size_t cand = candidates[k];
         if (std::find(selected.begin(), selected.end(), cand) !=
             selected.end()) {
@@ -78,6 +80,7 @@ int NextBestAttribute(const QueryAnalysis& analysis,
 Explanation RunMcimr(const QueryAnalysis& analysis,
                      const std::vector<size_t>& candidate_indices,
                      const McimrOptions& options) {
+  MESA_SPAN("mcimr");
   Explanation ex;
   ex.base_cmi = analysis.BaseCmi();
   ex.final_cmi = ex.base_cmi;
@@ -87,6 +90,8 @@ Explanation RunMcimr(const QueryAnalysis& analysis,
   double current_cmi = ex.base_cmi;
   for (size_t iter = 0; iter < options.max_size; ++iter) {
     if (current_cmi < options.cmi_floor) break;  // fully explained
+    MESA_SPAN("round");
+    MESA_COUNT("mcimr/rounds");
 
     // Pick the best candidate that does not turn the conditioning set into
     // an exposure identifier (Lemma A.2 applied to sets).
@@ -103,6 +108,7 @@ Explanation RunMcimr(const QueryAnalysis& analysis,
         tentative.push_back(static_cast<size_t>(next));
         if (analysis.IdentificationFraction(tentative) >
             options.max_identification_fraction) {
+          MESA_COUNT("mcimr/identification_rejections");
           rejected.push_back(static_cast<size_t>(next));
           continue;
         }
@@ -129,6 +135,7 @@ Explanation RunMcimr(const QueryAnalysis& analysis,
       IndependenceResult test = ConditionalIndependenceTest(
           analysis.outcome(), analysis.attributes()[idx].coded, z, ind);
       if (test.independent) {
+        MESA_COUNT("mcimr/responsibility_stops");
         ex.stopped_by_responsibility = true;
         break;
       }

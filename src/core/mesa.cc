@@ -1,5 +1,7 @@
 #include "core/mesa.h"
 
+#include "common/metrics.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -28,6 +30,7 @@ Mesa::Mesa(Table base_table, const TripleStore* kg,
 
 Status Mesa::Preprocess() {
   if (preprocessed_) return Status::OK();
+  MESA_SPAN("preprocess");
 
   std::vector<Table> entity_tables;
   if (kg_ != nullptr && !extraction_columns_.empty()) {
@@ -85,6 +88,7 @@ Result<const Table*> Mesa::augmented_table() {
 
 Result<Mesa::PreparedQuery> Mesa::PrepareQuery(const QuerySpec& query) {
   MESA_RETURN_IF_ERROR(Preprocess());
+  MESA_SPAN("prepare_query");
   PreparedQuery out;
   MESA_ASSIGN_OR_RETURN(
       QueryAnalysis analysis,
@@ -104,6 +108,8 @@ Result<Mesa::PreparedQuery> Mesa::PrepareQuery(const QuerySpec& query) {
 }
 
 Result<MesaReport> Mesa::Explain(const QuerySpec& query) {
+  MESA_SPAN("explain");
+  MESA_COUNT("mesa/explains");
   MESA_ASSIGN_OR_RETURN(PreparedQuery pq, PrepareQuery(query));
   MesaReport report;
   report.query = query;

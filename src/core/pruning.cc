@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "info/entropy.h"
 
@@ -27,6 +28,7 @@ const char* PruneReasonName(PruneReason reason) {
 Result<PruneResult> OfflinePrune(const Table& table,
                                  const std::vector<std::string>& attributes,
                                  const OfflinePruneOptions& options) {
+  MESA_SPAN("offline_prune");
   PruneResult result;
   for (const std::string& name : attributes) {
     MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(name));
@@ -61,11 +63,14 @@ Result<PruneResult> OfflinePrune(const Table& table,
     }
     result.kept.push_back(name);
   }
+  MESA_COUNT_N("prune/offline_kept", result.kept.size());
+  MESA_COUNT_N("prune/offline_pruned", result.pruned.size());
   return result;
 }
 
 OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
                               const OnlinePruneOptions& options) {
+  MESA_SPAN("online_prune");
   OnlinePruneResult result;
   const CodedVariable& o = analysis.outcome();
   const CodedVariable& t = analysis.exposure();
@@ -128,6 +133,8 @@ OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
                                static_cast<PruneReason>(verdict[i])});
     }
   }
+  MESA_COUNT_N("prune/online_kept", result.kept_indices.size());
+  MESA_COUNT_N("prune/online_pruned", result.pruned.size());
   return result;
 }
 

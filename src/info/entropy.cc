@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace mesa {
 
 namespace {
@@ -34,6 +36,8 @@ double EntropyFromCounts(const std::vector<double>& counts, double total,
 
 double Entropy(const CodedVariable& x, const std::vector<double>* weights,
                const EntropyOptions& options) {
+  MESA_COUNT("info/entropy_evals");
+  MESA_SPAN("entropy");
   double total = 0.0;
   std::vector<double> counts = WeightedCounts(x, weights, &total);
   return EntropyFromCounts(counts, total, options);
@@ -48,6 +52,8 @@ double JointEntropy(const CodedVariable& x, const CodedVariable& y,
 double ConditionalEntropy(const CodedVariable& x, const CodedVariable& y,
                           const std::vector<double>* weights,
                           const EntropyOptions& options) {
+  MESA_COUNT("info/cond_entropy_evals");
+  MESA_SPAN("cond_entropy");
   // Dense fast path: one flat-array pass when the joint key space is small
   // (this runs per candidate inside the trap tests, so it must not hash).
   const int bx = BitsFor(std::max<int32_t>(1, x.cardinality));

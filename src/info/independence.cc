@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "stats/distributions.h"
 
@@ -13,15 +14,19 @@ namespace mesa {
 IndependenceResult ConditionalIndependenceTest(
     const CodedVariable& x, const CodedVariable& y, const CodedVariable& z,
     const IndependenceOptions& options) {
+  MESA_COUNT("info/ci_tests");
+  MESA_SPAN("ci_test");
   IndependenceResult result;
   result.cmi = ConditionalMutualInformation(x, y, z);
   if (result.cmi < options.cmi_epsilon) {
+    MESA_COUNT("info/ci_epsilon_short_circuits");
     result.p_value = 1.0;
     result.independent = true;
     return result;
   }
 
   if (options.method == IndependenceMethod::kGTest) {
+    MESA_COUNT("info/ci_gtests");
     size_t n = 0;
     std::set<int32_t> z_seen;
     for (size_t i = 0; i < z.codes.size(); ++i) {
@@ -63,6 +68,7 @@ IndependenceResult ConditionalIndependenceTest(
   // MixSeed(options.seed, perm): permutations are independent of each other
   // and of the execution order, so the p-value is bit-identical whether the
   // loop runs serially or on any number of threads.
+  MESA_COUNT_N("info/ci_permutations", options.num_permutations);
   const double observed_cmi = result.cmi;
   const size_t at_least = ParallelMapReduce<size_t>(
       0, options.num_permutations, 0,

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mesa {
 
@@ -176,6 +177,8 @@ double MutualInformation(const CodedVariable& x, const CodedVariable& y,
                          const std::vector<double>* weights,
                          const EntropyOptions& options) {
   MESA_CHECK(x.size() == y.size());
+  MESA_COUNT("info/mi_evals");
+  MESA_SPAN("mi");
   // I(X;Y) = I(X;Y|const); small-cardinality pairs take the dense path.
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
@@ -198,6 +201,8 @@ double ConditionalMutualInformation(const CodedVariable& x,
                                     const std::vector<double>* weights,
                                     const EntropyOptions& options) {
   MESA_CHECK(x.size() == y.size() && y.size() == z.size());
+  MESA_COUNT("info/cmi_evals");
+  MESA_SPAN("cmi");
   // Fast path: one hash pass over packed keys when the widths fit.
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "common/metrics.h"
 #include "query/join.h"
 
 namespace mesa {
@@ -65,6 +66,7 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
                                 const TripleStore& store,
                                 const ExtractionOptions& options,
                                 ExtractionStats* stats) {
+  MESA_SPAN("kg_extract");
   MESA_ASSIGN_OR_RETURN(const Column* keys, table.ColumnByName(column));
   if (keys->type() != DataType::kString) {
     return Status::InvalidArgument(
@@ -208,6 +210,11 @@ Result<AugmentResult> AugmentTableFromKg(
     out.entity_tables.push_back(std::move(renamed));
   }
   out.stats.attributes_extracted = out.extracted_columns.size();
+  MESA_COUNT_N("kg/values_total", out.stats.values_total);
+  MESA_COUNT_N("kg/values_linked", out.stats.values_linked);
+  MESA_COUNT_N("kg/values_ambiguous", out.stats.values_ambiguous);
+  MESA_COUNT_N("kg/values_not_found", out.stats.values_not_found);
+  MESA_COUNT_N("kg/attributes_extracted", out.stats.attributes_extracted);
   return out;
 }
 

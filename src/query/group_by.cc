@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "common/metrics.h"
+
 namespace mesa {
 
 Result<Table> GroupByResult::ToTable(const std::string& group_column,
@@ -38,6 +40,8 @@ Result<GroupByResult> GroupByAggregate(
     const Table& table, const std::vector<std::string>& group_cols,
     const std::string& outcome_col, AggregateFunction agg,
     const Conjunction& context) {
+  MESA_SPAN("group_by");
+  MESA_COUNT("query/group_bys");
   if (group_cols.empty()) {
     return Status::InvalidArgument("need at least one grouping column");
   }

@@ -3,12 +3,15 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace mesa {
 
 Result<Table> HashJoin(const Table& left, const std::string& left_key,
                        const Table& right, const std::string& right_key,
                        const JoinOptions& options) {
+  MESA_SPAN("hash_join");
+  MESA_COUNT("query/hash_joins");
   MESA_ASSIGN_OR_RETURN(const Column* lkey, left.ColumnByName(left_key));
   MESA_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
 

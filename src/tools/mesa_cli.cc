@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "core/baselines/top_k.h"
 #include "core/mesa.h"
@@ -43,11 +44,15 @@ int Usage() {
       [--subgroups Col1,Col2]              also search unexplained subgroups
       [--baseline topk]                    also print the Top-K baseline
       [--trace]                            show MCIMR's selection steps
+      [--metrics[=FILE]]                   dump the metrics/tracing JSON
+                                           snapshot (stdout, or to FILE)
 )");
   return 1;
 }
 
-// Minimal --flag value parser; flags may appear once.
+// Minimal --flag value parser; flags may appear once. Values attach
+// either as the next argument (`--k 5`) or inline (`--k=5`); flags that
+// are valid without a value (`--metrics`) default to "true".
 class Flags {
  public:
   Flags(int argc, char** argv, int start) {
@@ -58,7 +63,12 @@ class Flags {
         return;
       }
       std::string name = arg.substr(2);
-      if (name == "no-prune" || name == "trace") {
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        values_[name.substr(0, eq)] = name.substr(eq + 1);
+        continue;
+      }
+      if (name == "no-prune" || name == "trace" || name == "metrics") {
         values_[name] = "true";
         continue;
       }
@@ -216,6 +226,25 @@ int RunExplain(const Flags& flags) {
     auto groups = mesa.FindSubgroups(*query,
                                      report->explanation.attribute_names, sg);
     if (groups.ok()) std::fputs(FormatSubgroups(*groups).c_str(), stdout);
+  }
+
+  // --metrics / --metrics=FILE: one JSON object with every counter and
+  // span distribution recorded during this run (empty when the build has
+  // MESA_METRICS=OFF; see docs/observability.md for the schema).
+  if (flags.Has("metrics")) {
+    std::string json = metrics::SnapshotJson();
+    std::string path = flags.Get("metrics");
+    if (path.empty() || path == "true") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+        return 2;
+      }
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
   }
   return 0;
 }

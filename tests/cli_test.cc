@@ -62,6 +62,25 @@ TEST(MesaCli, GenExplainRoundTrip) {
   EXPECT_NE(explain_log.find("explanation"), std::string::npos);
   EXPECT_NE(explain_log.find("unexplained data groups"), std::string::npos);
 
+  // --metrics=FILE dumps the observability snapshot as JSON.
+  std::string metrics = testing::TempDir() + "/mesa_cli_metrics.json";
+  ASSERT_EQ(
+      RunCommand(cli + " explain --data " + prefix + ".csv --kg " + prefix +
+                 ".kg --extract Country,WHO_Region --query \"SELECT "
+                 "Country, avg(Deaths_per_100_cases) FROM covid GROUP BY "
+                 "Country\" --metrics=" + metrics + " > " + out + " 2>&1"),
+      0)
+      << Slurp(out);
+  std::string metrics_json = Slurp(metrics);
+  ASSERT_FALSE(metrics_json.empty());
+  EXPECT_EQ(metrics_json.front(), '{');
+#if MESA_METRICS_ENABLED
+  EXPECT_NE(metrics_json.find("\"info/cmi_evals\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"qa/single_cmi/miss\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("\"explain/mcimr\""), std::string::npos);
+#endif
+  std::remove(metrics.c_str());
+
   std::remove((prefix + ".csv").c_str());
   std::remove((prefix + ".kg").c_str());
   std::remove(out.c_str());

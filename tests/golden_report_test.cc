@@ -1,0 +1,84 @@
+// Golden-file regression test for the report mesa_cli prints.
+//
+// Runs the same pipeline as `mesa_cli explain --subgroups WHO_Region` on
+// the seeded covid dataset (the cli_test round trip) and compares the
+// rendered report byte-for-byte against tests/golden/covid_report.txt.
+// Any change to extraction, pruning, MCIMR, responsibility, subgroup
+// search, or report formatting shows up here as a readable text diff.
+//
+// To regenerate after an intentional output change:
+//
+//   MESA_UPDATE_GOLDEN=1 ./mesa_tests --gtest_filter='GoldenReport.*'
+//
+// then commit the updated file under tests/golden/ with the change that
+// caused it.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/mesa.h"
+#include "core/report_format.h"
+#include "datagen/registry.h"
+#include "query/sql_parser.h"
+
+namespace mesa {
+namespace {
+
+const char kGoldenPath[] = MESA_TEST_SOURCE_DIR "/golden/covid_report.txt";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+TEST(GoldenReport, CovidExplainMatchesGolden) {
+  auto ds = MakeDataset(DatasetKind::kCovid, GenOptions{});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+
+  auto query = ParseQuery(
+      "SELECT Country, avg(Deaths_per_100_cases) FROM covid "
+      "GROUP BY Country");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  Mesa mesa(ds->table, ds->kg.get(), {"Country", "WHO_Region"});
+  auto report = mesa.Explain(*query);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::string actual = FormatReport(*report);
+  SubgroupOptions sg;
+  sg.threshold = 0.05 * report->base_cmi;
+  sg.refinement_attributes = {"WHO_Region"};
+  auto groups =
+      mesa.FindSubgroups(*query, report->explanation.attribute_names, sg);
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  actual += FormatSubgroups(*groups);
+
+  if (std::getenv("MESA_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(kGoldenPath, "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << kGoldenPath;
+    std::fwrite(actual.data(), 1, actual.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden file regenerated: " << kGoldenPath;
+  }
+
+  std::string expected;
+  ASSERT_TRUE(ReadFile(kGoldenPath, &expected))
+      << "missing golden file " << kGoldenPath
+      << " — regenerate with MESA_UPDATE_GOLDEN=1 (see header comment)";
+  EXPECT_EQ(expected, actual)
+      << "report drifted from " << kGoldenPath
+      << "; if the change is intentional, regenerate with "
+         "MESA_UPDATE_GOLDEN=1 and commit the diff";
+}
+
+}  // namespace
+}  // namespace mesa

@@ -451,5 +451,83 @@ TEST(Independence, GoldenPValuesPinPerPermutationRngScheme) {
   EXPECT_FALSE(dep.independent);
 }
 
+// --------------------------------------- weighted information identities
+//
+// Property tests: the plug-in estimators must satisfy the textbook
+// identities for *any* weighting (IPW reweighting is just a different
+// empirical measure), on fully observed data. Miller-Madow is left off:
+// its support-based correction terms do not telescope across the chain
+// rule.
+
+TEST(WeightedIdentities, RandomWeightsSatisfyIdentities) {
+  Rng rng(101);
+  EntropyOptions plain;
+  plain.miller_madow = false;
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 200 + rng.NextBelow(400);
+    const int32_t cx = 2 + static_cast<int32_t>(rng.NextBelow(5));
+    const int32_t cy = 2 + static_cast<int32_t>(rng.NextBelow(5));
+    const int32_t cz = 2 + static_cast<int32_t>(rng.NextBelow(4));
+    std::vector<int32_t> x, y, z;
+    std::vector<double> w;
+    for (size_t i = 0; i < n; ++i) {
+      int32_t base = static_cast<int32_t>(rng.NextBelow(cx));
+      x.push_back(base);
+      // Correlate y with x half the time so MI is nontrivial.
+      y.push_back(rng.NextBernoulli(0.5)
+                      ? base % cy
+                      : static_cast<int32_t>(rng.NextBelow(cy)));
+      z.push_back(static_cast<int32_t>(rng.NextBelow(cz)));
+      w.push_back(rng.NextUniform(0.1, 3.0));
+    }
+    CodedVariable X = MakeVar(x, cx), Y = MakeVar(y, cy), Z = MakeVar(z, cz);
+
+    // Chain rule: H(X,Y) = H(Y) + H(X|Y).
+    EXPECT_NEAR(JointEntropy(X, Y, &w, plain),
+                Entropy(Y, &w, plain) + ConditionalEntropy(X, Y, &w, plain),
+                1e-10);
+    // Symmetry: I(X;Y) = I(Y;X).
+    EXPECT_NEAR(MutualInformation(X, Y, &w, plain),
+                MutualInformation(Y, X, &w, plain), 1e-10);
+    // Nonnegativity: I(X;Y|Z) >= 0.
+    EXPECT_GE(ConditionalMutualInformation(X, Y, Z, &w, plain), 0.0);
+  }
+}
+
+TEST(WeightedIdentities, UnitWeightsMatchUnweighted) {
+  Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 300;
+    const int32_t cx = 2 + static_cast<int32_t>(rng.NextBelow(6));
+    const int32_t cy = 2 + static_cast<int32_t>(rng.NextBelow(6));
+    const int32_t cz = 2 + static_cast<int32_t>(rng.NextBelow(3));
+    std::vector<int32_t> x, y, z;
+    for (size_t i = 0; i < n; ++i) {
+      x.push_back(static_cast<int32_t>(rng.NextBelow(cx)));
+      y.push_back(static_cast<int32_t>(rng.NextBelow(cy)));
+      z.push_back(static_cast<int32_t>(rng.NextBelow(cz)));
+    }
+    const std::vector<double> ones(n, 1.0);
+    CodedVariable X = MakeVar(x, cx), Y = MakeVar(y, cy), Z = MakeVar(z, cz);
+
+    // Weights of all ones ARE the unweighted estimator (both with the
+    // default Miller-Madow correction and without).
+    for (bool mm : {false, true}) {
+      EntropyOptions opts;
+      opts.miller_madow = mm;
+      EXPECT_NEAR(Entropy(X, &ones, opts), Entropy(X, nullptr, opts), 1e-12);
+      EXPECT_NEAR(JointEntropy(X, Y, &ones, opts),
+                  JointEntropy(X, Y, nullptr, opts), 1e-12);
+      EXPECT_NEAR(ConditionalEntropy(X, Y, &ones, opts),
+                  ConditionalEntropy(X, Y, nullptr, opts), 1e-12);
+      EXPECT_NEAR(MutualInformation(X, Y, &ones, opts),
+                  MutualInformation(X, Y, nullptr, opts), 1e-12);
+      EXPECT_NEAR(ConditionalMutualInformation(X, Y, Z, &ones, opts),
+                  ConditionalMutualInformation(X, Y, Z, nullptr, opts),
+                  1e-12);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mesa

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/mcimr.h"
 #include "core/mesa.h"
 #include "datagen/registry.h"
 #include "info/independence.h"
@@ -297,6 +298,30 @@ TEST(Stress, ConcurrentCallersShareOnePool) {
     }
     EXPECT_EQ(results[c], expect) << "caller " << c;
   }
+}
+
+// estimator_evaluations() is an *exact* count of distinct cached CMI/MI
+// computations: when pool workers race to fill the same cache slot, only
+// the winning store is counted. The count must therefore match the serial
+// run at any thread count.
+TEST(Determinism, EstimatorEvaluationsExactAcrossThreadCounts) {
+  GeneratedDataset ds = MakeSmallDataset(1);  // Covid (188 rows)
+  const QuerySpec q = CanonicalQueries(DatasetKind::kCovid).front().query;
+
+  auto count_evals = [&](size_t threads) {
+    SetNumThreads(threads);
+    Mesa mesa(ds.table, ds.kg.get(), ds.extraction_columns);
+    auto pq = mesa.PrepareQuery(q);
+    EXPECT_TRUE(pq.ok());
+    RunMcimr(*pq->analysis, pq->candidate_indices);
+    return pq->analysis->estimator_evaluations();
+  };
+
+  const size_t serial = count_evals(1);
+  EXPECT_GT(serial, 0u);
+  EXPECT_EQ(count_evals(2), serial);
+  EXPECT_EQ(count_evals(8), serial);
+  SetNumThreads(1);
 }
 
 TEST(Stress, TwoConcurrentMesaRunsShareOnePool) {

@@ -1,0 +1,305 @@
+// Fuzz-style tests for the SQL parser (primary ASan target; build with
+// cmake -DMESA_SANITIZE=address and run this binary). Two attack modes:
+//
+//  1. A seeded generator emits random *valid* queries, which must
+//     round-trip parse -> ToSql -> parse to a fixed point (the second and
+//     third renderings are byte-identical, and the parsed specs agree).
+//  2. Those queries are then mutated — truncated, spliced, peppered with
+//     random bytes (quotes, parens, control and non-ASCII bytes) — and
+//     the parser must return an error Status or a spec, but never crash,
+//     hang, or touch memory it does not own.
+
+#include "query/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query_spec.h"
+
+namespace mesa {
+namespace {
+
+// Keywords and aggregate names the generator must not emit as
+// identifiers: ToSql() prints identifiers bare, so a keyword-shaped
+// identifier would legitimately parse differently on the second pass.
+bool IsReservedWord(const std::string& word) {
+  static const std::vector<std::string> kReserved = {
+      "select", "from",  "where", "group", "by",     "and",
+      "in",     "true",  "false", "null",  "avg",    "mean",
+      "average", "sum",  "count", "min",   "max",    "median",
+      "stddev", "std",   "stdev"};
+  std::string lower;
+  for (char c : word) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  for (const auto& r : kReserved) {
+    if (lower == r) return true;
+  }
+  return false;
+}
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Identifier() {
+    static const char kFirst[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_";
+    static const char kRest[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789";
+    for (;;) {
+      std::string id;
+      id += kFirst[rng_.NextBelow(sizeof(kFirst) - 1)];
+      size_t len = rng_.NextBelow(9);
+      for (size_t i = 0; i < len; ++i) {
+        id += kRest[rng_.NextBelow(sizeof(kRest) - 1)];
+      }
+      if (!IsReservedWord(id)) return id;
+    }
+  }
+
+  std::string StringLiteral() {
+    // Printable ASCII including embedded quotes (escaped as '' by the
+    // lexer/printer) and spaces.
+    std::string s = "'";
+    size_t len = rng_.NextBelow(12);
+    for (size_t i = 0; i < len; ++i) {
+      char c = static_cast<char>(0x20 + rng_.NextBelow(0x5f));
+      if (c == '\'') {
+        s += "''";
+      } else {
+        s += c;
+      }
+    }
+    s += '\'';
+    return s;
+  }
+
+  std::string Literal() {
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        return std::to_string(static_cast<int64_t>(rng_.NextBelow(2000000)) -
+                              1000000);
+      case 1: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g",
+                      rng_.NextUniform(-1e6, 1e6));
+        return buf;
+      }
+      case 2:
+        return rng_.NextBelow(2) == 0 ? "true" : "false";
+      default:
+        return StringLiteral();
+    }
+  }
+
+  std::string Condition() {
+    static const char* kOps[] = {"=", "!=", "<>", "<", "<=", ">", ">="};
+    std::string cond = Identifier();
+    if (rng_.NextBelow(5) == 0) {
+      cond += " IN (";
+      size_t n = 1 + rng_.NextBelow(4);
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) cond += ", ";
+        cond += Literal();
+      }
+      cond += ")";
+    } else {
+      cond += " ";
+      cond += kOps[rng_.NextBelow(7)];
+      cond += " ";
+      cond += Literal();
+    }
+    return cond;
+  }
+
+  std::string Query() {
+    // Grouping columns (1-3) + one aggregate, in any select-list slot.
+    size_t num_groups = 1 + rng_.NextBelow(3);
+    std::vector<std::string> groups;
+    for (size_t i = 0; i < num_groups; ++i) groups.push_back(Identifier());
+    static const char* kAggs[] = {"avg", "sum", "count", "min", "max",
+                                  "median", "stddev"};
+    std::string agg = kAggs[rng_.NextBelow(7)];
+    size_t agg_slot = rng_.NextBelow(num_groups + 1);
+
+    std::string sql = "SELECT ";
+    size_t emitted = 0;
+    for (size_t slot = 0; slot <= num_groups; ++slot) {
+      if (emitted > 0) sql += ", ";
+      if (slot == agg_slot) {
+        sql += agg;
+        sql += "(";
+        sql += Identifier();
+        sql += ")";
+      } else {
+        sql += groups[slot < agg_slot ? slot : slot - 1];
+      }
+      ++emitted;
+    }
+    sql += " FROM ";
+    sql += Identifier();
+    if (rng_.NextBelow(2) == 0) {
+      sql += " WHERE ";
+      size_t n = 1 + rng_.NextBelow(3);
+      for (size_t i = 0; i < n; ++i) {
+        if (i > 0) sql += " AND ";
+        sql += Condition();
+      }
+    }
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += groups[i];
+    }
+    if (rng_.NextBelow(3) == 0) sql += ";";
+    return sql;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+TEST(SqlParserFuzz, GeneratedQueriesRoundTripToFixedPoint) {
+  QueryGenerator gen(20260807);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string sql = gen.Query();
+    SCOPED_TRACE("sql: " + sql);
+    auto spec1 = ParseQuery(sql);
+    ASSERT_TRUE(spec1.ok()) << spec1.status().ToString();
+    const std::string sql2 = spec1->ToSql();
+    auto spec2 = ParseQuery(sql2);
+    ASSERT_TRUE(spec2.ok())
+        << "printed form failed to reparse: " << sql2 << " — "
+        << spec2.status().ToString();
+    // Fixed point: printing the reparsed spec changes nothing.
+    EXPECT_EQ(sql2, spec2->ToSql());
+    // And the specs agree on every semantic field.
+    EXPECT_EQ(spec1->exposure, spec2->exposure);
+    EXPECT_EQ(spec1->secondary_exposures, spec2->secondary_exposures);
+    EXPECT_EQ(spec1->outcome, spec2->outcome);
+    EXPECT_EQ(spec1->aggregate, spec2->aggregate);
+    EXPECT_EQ(spec1->table_name, spec2->table_name);
+    EXPECT_TRUE(spec1->context == spec2->context);
+  }
+}
+
+TEST(SqlParserFuzz, MutatedQueriesNeverCrash) {
+  QueryGenerator gen(97);
+  // Byte pool biased toward syntax-relevant characters plus control and
+  // non-ASCII bytes.
+  const std::string pool =
+      "'\"(),;=<>! \t\n\rSELECTfromwheregroupbyandin0123456789.-_"
+      "\x01\x07\x1b\x7f\x80\xc3\xff";
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string sql = gen.Query();
+    size_t mutations = 1 + gen.rng().NextBelow(4);
+    for (size_t m = 0; m < mutations && !sql.empty(); ++m) {
+      switch (gen.rng().NextBelow(5)) {
+        case 0:  // truncate
+          sql.resize(gen.rng().NextBelow(sql.size() + 1));
+          break;
+        case 1:  // insert a byte
+          sql.insert(sql.begin() + static_cast<ptrdiff_t>(
+                                       gen.rng().NextBelow(sql.size() + 1)),
+                     pool[gen.rng().NextBelow(pool.size())]);
+          break;
+        case 2:  // overwrite a byte
+          sql[gen.rng().NextBelow(sql.size())] =
+              pool[gen.rng().NextBelow(pool.size())];
+          break;
+        case 3: {  // delete a range
+          size_t at = gen.rng().NextBelow(sql.size());
+          size_t len = 1 + gen.rng().NextBelow(8);
+          sql.erase(at, len);
+          break;
+        }
+        default: {  // duplicate a range elsewhere
+          size_t at = gen.rng().NextBelow(sql.size());
+          size_t len = 1 + gen.rng().NextBelow(8);
+          std::string piece = sql.substr(at, len);
+          sql.insert(gen.rng().NextBelow(sql.size() + 1), piece);
+          break;
+        }
+      }
+    }
+    SCOPED_TRACE("mutated sql: " + sql);
+    // Must return — error or spec — without crashing; and whatever
+    // parses must still print.
+    auto spec = ParseQuery(sql);
+    if (spec.ok()) {
+      std::string printed = spec->ToSql();
+      EXPECT_FALSE(printed.empty());
+    } else {
+      EXPECT_FALSE(spec.status().ToString().empty());
+    }
+  }
+}
+
+TEST(SqlParserFuzz, HostileCorpusReturnsErrorsNotCrashes) {
+  std::vector<std::string> corpus = {
+      "",
+      " ",
+      "'",
+      "\"",
+      "''",
+      ";",
+      "SELECT",
+      "SELECT ",
+      "SELECT (",
+      "SELECT a, avg(b)",
+      "SELECT a, avg(b) FROM",
+      "SELECT a, avg(b FROM t GROUP BY a",
+      "SELECT avg(b), avg(c) FROM t",
+      "SELECT a FROM t GROUP BY a",
+      "SELECT a, avg(b) FROM t GROUP BY b",
+      "SELECT a, avg(b) FROM t WHERE GROUP BY a",
+      "SELECT a, avg(b) FROM t WHERE x GROUP BY a",
+      "SELECT a, avg(b) FROM t WHERE x = GROUP BY a",
+      "SELECT a, avg(b) FROM t WHERE x IN GROUP BY a",
+      "SELECT a, avg(b) FROM t WHERE x IN () GROUP BY a",
+      "SELECT a, avg(b) FROM t WHERE x IN ('y' GROUP BY a",
+      "SELECT a, avg(b) FROM t GROUP BY a extra",
+      "SELECT a, avg(b) FROM t GROUP BY a;;",
+      "select a, avg(b) from t where c = 'unterminated",
+      "SELECT \"a, avg(b) FROM t GROUP BY \"a",
+      std::string(5000, '9'),
+      std::string(5000, '('),
+      "SELECT " + std::string(2000, 'x') + ", avg(y) FROM t GROUP BY " +
+          std::string(2000, 'x'),
+  };
+  // A deep IN list and a long conjunction exercise any recursion and
+  // buffer growth in the lexer/parser.
+  std::string big_in = "SELECT a, avg(b) FROM t WHERE c IN (";
+  for (int i = 0; i < 1000; ++i) {
+    if (i > 0) big_in += ",";
+    big_in += "'v" + std::to_string(i) + "'";
+  }
+  big_in += ") GROUP BY a";
+  corpus.push_back(big_in);
+  std::string big_and = "SELECT a, avg(b) FROM t WHERE x0 = 0";
+  for (int i = 1; i < 500; ++i) {
+    big_and += " AND x" + std::to_string(i) + " = " + std::to_string(i);
+  }
+  big_and += " GROUP BY a";
+  corpus.push_back(big_and);
+
+  for (const std::string& sql : corpus) {
+    SCOPED_TRACE("corpus sql (first 80 bytes): " + sql.substr(0, 80));
+    auto spec = ParseQuery(sql);
+    if (spec.ok()) {
+      auto again = ParseQuery(spec->ToSql());
+      EXPECT_TRUE(again.ok());
+    } else {
+      EXPECT_FALSE(spec.status().ToString().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mesa
