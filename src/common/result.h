@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace mesa {
@@ -18,10 +19,14 @@ class Result {
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Implicit construction from a non-OK status (failure).
+  /// Implicit construction from a non-OK status (failure). Building a
+  /// Result from an OK Status would produce a valueless Result, so it is a
+  /// programming error in every build mode — not just under assert.
   Result(Status status) : repr_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(repr_).ok() &&
-           "Result must not be built from an OK Status");
+    if (std::get<Status>(repr_).ok()) {
+      ::mesa::internal::FatalError(
+          __FILE__, __LINE__, "Result<T> must not be built from an OK Status");
+    }
   }
 
   bool ok() const { return std::holds_alternative<T>(repr_); }

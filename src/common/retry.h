@@ -1,0 +1,238 @@
+#ifndef MESA_COMMON_RETRY_H_
+#define MESA_COMMON_RETRY_H_
+
+/// Generic resilience primitives for calls against unreliable services:
+/// retryable-vs-permanent Status classification, an exponential-backoff
+/// retry loop with deterministic seeded jitter and a per-call deadline
+/// budget, and a circuit breaker (closed -> open -> half-open).
+///
+/// All waiting happens on a *virtual clock* measured in milliseconds:
+/// backoff "sleeps" and injected latencies advance the clock instead of
+/// blocking the thread. That keeps every retry schedule, breaker
+/// transition, and deadline decision bit-for-bit reproducible under any
+/// thread count and on any machine — the property the chaos tests pin
+/// down (see docs/robustness.md). A wall-clock binding can be swapped in
+/// later without touching callers.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mesa {
+
+/// Deterministic monotonic time source, in virtual milliseconds.
+/// Thread-safe; starts at zero.
+class VirtualClock {
+ public:
+  uint64_t NowMs() const { return now_ms_.load(std::memory_order_relaxed); }
+  void AdvanceMs(uint64_t ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_ms_{0};
+};
+
+/// True for Status codes worth retrying: the service may recover
+/// (kUnavailable — including detected truncated/short responses),
+/// the per-attempt budget ran out (kDeadlineExceeded), or we were rate
+/// limited (kResourceExhausted). Everything else — bad arguments, missing
+/// entities, malformed data, internal faults — is permanent: retrying
+/// cannot change the answer.
+bool IsRetryable(StatusCode code);
+
+/// Backoff / budget configuration of one retrying call.
+struct RetryOptions {
+  /// Maximum attempts per call; 0 = unbounded (the deadline is the only
+  /// stop condition, which is what the chaos determinism tests rely on:
+  /// a transient fault plan is always out-waited).
+  size_t max_attempts = 0;
+  /// First backoff wait, doubled (times `backoff_multiplier`) per retry.
+  uint64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  /// Backoff cap.
+  uint64_t max_backoff_ms = 1000;
+  /// Jitter fraction: each wait is scaled by a factor drawn uniformly
+  /// from [1 - jitter, 1 + jitter] with a deterministic per-call stream.
+  double jitter = 0.25;
+  /// Per-call budget in virtual milliseconds; 0 = no deadline. When the
+  /// budget is exhausted the call fails with kDeadlineExceeded.
+  uint64_t deadline_ms = 10000;
+  /// Base seed of the jitter streams; mixed with the per-call key so the
+  /// schedule of one call never depends on the calls that ran before it.
+  uint64_t seed = 0x5EEDF00DULL;
+};
+
+/// Circuit-breaker configuration.
+struct BreakerOptions {
+  /// Consecutive attempt failures that trip the breaker open.
+  size_t failure_threshold = 5;
+  /// Virtual time the breaker stays open before allowing one half-open
+  /// probe attempt.
+  uint64_t cooldown_ms = 500;
+  /// Metric-name prefix for transition counters and the state
+  /// distribution, e.g. "kg.breaker". Empty disables breaker metrics.
+  std::string metric_prefix;
+};
+
+/// Classic three-state circuit breaker over attempt outcomes:
+///
+///   closed --(N consecutive failures)--> open
+///   open --(cooldown elapsed)--> half-open (one probe allowed)
+///   half-open --success--> closed
+///   half-open --failure--> open (cooldown restarts)
+///
+/// Time is the caller's VirtualClock, passed into each transition-making
+/// call. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  /// Whether an attempt may proceed at `now_ms`. When the breaker is open
+  /// and cooling down, returns false and sets `*retry_at_ms` to the
+  /// virtual time at which the next (half-open) probe unlocks.
+  bool Allow(uint64_t now_ms, uint64_t* retry_at_ms);
+
+  void RecordSuccess();
+  void RecordFailure(uint64_t now_ms);
+
+  State state() const;
+  /// Total closed->open transitions (for tests and reports).
+  uint64_t times_opened() const;
+
+ private:
+  void TransitionLocked(State next);
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  size_t consecutive_failures_ = 0;
+  uint64_t open_until_ms_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t times_opened_ = 0;
+};
+
+/// Outcome of RetryCall, with enough bookkeeping for callers to feed
+/// stats like ExtractionStats::lookups_retried.
+struct RetryResult {
+  Status status;             ///< final status (OK on success).
+  size_t attempts = 0;       ///< attempts actually made.
+  bool retried = false;      ///< at least one retry happened.
+  uint64_t waited_ms = 0;    ///< virtual time spent in backoff + breaker waits.
+};
+
+/// Runs `attempt` (any callable returning Status) under `options`:
+/// retries retryable failures with exponential backoff + seeded jitter,
+/// charges every wait against the per-call deadline, and honours
+/// `breaker` (when non-null) by waiting out its cooldown on the virtual
+/// clock rather than failing fast — an open breaker converts into
+/// latency, not data loss, until the deadline runs out. `call_key` seeds
+/// the jitter stream; pass a hash of the operation + argument so the
+/// schedule is a pure function of the call. A header template so the
+/// per-lookup hot path (one successful attempt) inlines without a
+/// std::function allocation.
+template <typename Attempt>
+RetryResult RetryCall(const RetryOptions& options, VirtualClock* clock,
+                      CircuitBreaker* breaker, uint64_t call_key,
+                      const Attempt& attempt) {
+  RetryResult out;
+  Rng jitter_rng(MixSeed(options.seed, call_key));
+  const uint64_t start_ms = clock->NowMs();
+  const uint64_t deadline_ms =
+      options.deadline_ms == 0 ? UINT64_MAX : start_ms + options.deadline_ms;
+  double backoff = static_cast<double>(options.initial_backoff_ms);
+
+  // Waits `ms` on the virtual clock, charging the deadline. Returns false
+  // (and sets the final status) when the budget cannot cover the wait.
+  auto wait = [&](uint64_t ms) {
+    uint64_t now = clock->NowMs();
+    if (now + ms > deadline_ms) {
+      out.status = Status::DeadlineExceeded(
+          "retry budget exhausted after " + std::to_string(out.attempts) +
+          " attempt(s)");
+      return false;
+    }
+    clock->AdvanceMs(ms);
+    out.waited_ms += ms;
+    return true;
+  };
+
+  while (true) {
+    // An open breaker is waited out (it converts to latency), so a
+    // transiently failing endpoint never turns into silent data loss
+    // while budget remains.
+    uint64_t retry_at = 0;
+    while (breaker != nullptr && !breaker->Allow(clock->NowMs(), &retry_at)) {
+      uint64_t now = clock->NowMs();
+      uint64_t wait_ms = retry_at > now ? retry_at - now : 1;
+      if (!wait(wait_ms)) return out;
+    }
+    if (clock->NowMs() > deadline_ms) {
+      out.status = Status::DeadlineExceeded(
+          "call deadline exceeded before attempt " +
+          std::to_string(out.attempts + 1));
+      if (breaker != nullptr) breaker->RecordFailure(clock->NowMs());
+      return out;
+    }
+
+    ++out.attempts;
+    Status st = attempt();
+    if (st.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      out.status = Status::OK();
+      return out;
+    }
+    if (breaker != nullptr) breaker->RecordFailure(clock->NowMs());
+    if (!IsRetryable(st.code())) {
+      out.status = std::move(st);
+      return out;
+    }
+    if (options.max_attempts != 0 && out.attempts >= options.max_attempts) {
+      out.status = Status(st.code(), st.message() + " (after " +
+                                         std::to_string(out.attempts) +
+                                         " attempts)");
+      return out;
+    }
+
+    // Exponential backoff with deterministic jitter from the per-call
+    // stream: the schedule depends only on (seed, call_key).
+    double factor = 1.0;
+    if (options.jitter > 0.0) {
+      factor = 1.0 - options.jitter +
+               2.0 * options.jitter * jitter_rng.NextDouble();
+    }
+    uint64_t wait_ms = static_cast<uint64_t>(std::llround(
+        std::min(backoff, static_cast<double>(options.max_backoff_ms)) *
+        factor));
+    wait_ms = std::max<uint64_t>(wait_ms, 1);
+    if (!wait(wait_ms)) return out;
+    backoff = std::min(backoff * options.backoff_multiplier,
+                       static_cast<double>(options.max_backoff_ms));
+    out.retried = true;
+  }
+}
+
+/// FNV-1a 64-bit hash — the stable string hash used for per-call keys and
+/// fault-plan decisions (std::hash is not stable across libraries).
+/// constexpr so operation-name tags fold at compile time.
+constexpr uint64_t StableHash64(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_RETRY_H_

@@ -19,6 +19,12 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  // Remote-service conditions (the KG endpoint layer). kUnavailable and
+  // kResourceExhausted are transient by convention; kDeadlineExceeded marks
+  // an exhausted per-call time budget. See common/retry.h::IsRetryable.
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
@@ -55,6 +61,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

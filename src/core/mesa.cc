@@ -26,17 +26,51 @@ Mesa::Mesa(Table base_table, const TripleStore* kg,
   if (options_.prepare.num_threads == 0) {
     options_.prepare.num_threads = options_.num_threads;
   }
+  if (kg != nullptr) WireEndpoint(std::make_shared<LocalEndpoint>(kg));
+}
+
+Mesa::Mesa(Table base_table, std::shared_ptr<KgEndpoint> endpoint,
+           std::vector<std::string> extraction_columns, MesaOptions options)
+    : base_table_(std::move(base_table)),
+      kg_(endpoint == nullptr ? nullptr : endpoint->local_store()),
+      extraction_columns_(std::move(extraction_columns)),
+      options_(std::move(options)) {
+  if (options_.prepare.num_threads == 0) {
+    options_.prepare.num_threads = options_.num_threads;
+  }
+  if (endpoint != nullptr) WireEndpoint(std::move(endpoint));
+}
+
+void Mesa::WireEndpoint(std::shared_ptr<KgEndpoint> endpoint) {
+  // Fault layer: an explicit plan wins over MESA_FAULT_PLAN. A malformed
+  // plan is remembered and surfaced from Preprocess — silently ignoring
+  // it would fake a reliable endpoint.
+  Result<FaultPlan> plan = options_.fault_plan.empty()
+                               ? FaultPlan::FromEnv()
+                               : FaultPlan::Parse(options_.fault_plan);
+  if (!plan.ok()) {
+    setup_status_ = plan.status();
+    return;
+  }
+  endpoint_ = plan->has_faults()
+                  ? std::make_shared<FaultInjectingEndpoint>(
+                        std::move(endpoint), std::move(*plan))
+                  : std::move(endpoint);
+  kg_client_ =
+      std::make_unique<ResilientKgClient>(endpoint_, options_.kg_client);
 }
 
 Status Mesa::Preprocess() {
   if (preprocessed_) return Status::OK();
+  MESA_RETURN_IF_ERROR(setup_status_);
   MESA_SPAN("preprocess");
 
   std::vector<Table> entity_tables;
-  if (kg_ != nullptr && !extraction_columns_.empty()) {
-    MESA_ASSIGN_OR_RETURN(AugmentResult aug,
-                          AugmentTableFromKg(base_table_, extraction_columns_,
-                                             *kg_, options_.extraction));
+  if (kg_client_ != nullptr && !extraction_columns_.empty()) {
+    MESA_ASSIGN_OR_RETURN(
+        AugmentResult aug,
+        AugmentTableFromKg(base_table_, extraction_columns_,
+                           kg_client_.get(), options_.extraction));
     augmented_ = std::move(aug.table);
     kg_columns_ = std::move(aug.extracted_columns);
     extraction_stats_ = aug.stats;
@@ -117,6 +151,7 @@ Result<MesaReport> Mesa::Explain(const QuerySpec& query) {
   report.candidates_after_offline = candidate_pool_.size();
   report.candidates_after_online = pq.candidate_indices.size();
   report.pruned_online = pq.pruned_online;
+  report.extraction = extraction_stats_;
 
   report.explanation =
       RunMcimr(*pq.analysis, pq.candidate_indices, options_.mcimr);

@@ -12,6 +12,7 @@
 #include "core/responsibility.h"
 #include "core/subgroups.h"
 #include "kg/extractor.h"
+#include "kg/fault_injection.h"
 #include "query/sql_parser.h"
 
 namespace mesa {
@@ -25,6 +26,13 @@ struct MesaOptions {
   OnlinePruneOptions online_prune;
   PrepareOptions prepare;
   McimrOptions mcimr;
+  /// Retry / circuit-breaker / cache tuning of the KG client every
+  /// extraction runs through (see docs/robustness.md).
+  KgClientOptions kg_client;
+  /// Fault plan injected between the client and the KG endpoint — the
+  /// grammar of kg/fault_injection.h. Empty = use the MESA_FAULT_PLAN
+  /// environment variable; both empty = no fault layer.
+  std::string fault_plan;
   /// Concurrency cap for this instance's parallel paths (copied into
   /// prepare.num_threads when that is 0). 0 = the global pool size
   /// (MESA_NUM_THREADS env var / SetNumThreads). Explanations are
@@ -44,6 +52,9 @@ struct MesaReport {
   std::vector<PrunedAttribute> pruned_online;
   double base_cmi = 0.0;
   double final_cmi = 0.0;
+  /// KG extraction bookkeeping (zeroed when no KG was attached). The
+  /// report renderer annotates coverage from this.
+  ExtractionStats extraction;
 
   /// "I(O;T|C) = x; explanation {A, B} brings it to y" rendering.
   std::string Summary() const;
@@ -58,8 +69,16 @@ class Mesa {
  public:
   /// `kg` may be null (explanations then come from the input table only —
   /// the HypDB regime). `extraction_columns` are the entity-bearing columns
-  /// mined from the KG (Table 1's "Columns used for extraction").
+  /// mined from the KG (Table 1's "Columns used for extraction"). The
+  /// store is wrapped in a LocalEndpoint (plus a FaultInjectingEndpoint
+  /// when a fault plan is configured) and consumed through a
+  /// ResilientKgClient.
   Mesa(Table base_table, const TripleStore* kg,
+       std::vector<std::string> extraction_columns, MesaOptions options = {});
+
+  /// Serves explanations against an arbitrary KG endpoint — remote,
+  /// fault-injected, or otherwise. `endpoint` may be null.
+  Mesa(Table base_table, std::shared_ptr<KgEndpoint> endpoint,
        std::vector<std::string> extraction_columns, MesaOptions options = {});
 
   /// Runs extraction + offline pruning now (otherwise they run lazily on
@@ -117,16 +136,27 @@ class Mesa {
   /// Extraction bookkeeping (valid after preprocessing).
   const ExtractionStats& extraction_stats() const { return extraction_stats_; }
 
+  /// The resilient KG client this instance extracts through (null when no
+  /// KG endpoint is attached). Exposes retry/breaker/cache counters.
+  ResilientKgClient* kg_client() { return kg_client_.get(); }
+
   /// Offline pruning decisions (valid after preprocessing).
   const PruneResult& offline_prune_result() const { return offline_result_; }
 
   const MesaOptions& options() const { return options_; }
 
  private:
+  /// Builds the endpoint stack (fault layer if configured) + client.
+  /// Records a setup error in `setup_status_` instead of throwing.
+  void WireEndpoint(std::shared_ptr<KgEndpoint> endpoint);
+
   Table base_table_;
-  const TripleStore* kg_;
+  const TripleStore* kg_;  ///< local store behind the endpoint, if any.
   std::vector<std::string> extraction_columns_;
   MesaOptions options_;
+  std::shared_ptr<KgEndpoint> endpoint_;
+  std::unique_ptr<ResilientKgClient> kg_client_;
+  Status setup_status_;  ///< surfaced on first use (bad fault plan, ...).
 
   bool preprocessed_ = false;
   Table augmented_;

@@ -70,6 +70,15 @@ std::string FormatReport(const MesaReport& report,
                   report.candidates_after_online);
     out << line;
   }
+  if (options.show_kg_coverage && report.extraction.values_total > 0) {
+    const ExtractionStats& ex = report.extraction;
+    std::snprintf(line, sizeof(line),
+                  "kg coverage  %zu/%zu values linked (%zu ambiguous, %zu "
+                  "not found, %zu failed lookups)\n",
+                  ex.values_linked, ex.values_total, ex.values_ambiguous,
+                  ex.values_not_found, ex.values_failed);
+    out << line;
+  }
   if (options.show_trace) {
     for (const auto& step : report.explanation.trace) {
       std::snprintf(line, sizeof(line),

@@ -15,6 +15,11 @@ struct ReportFormatOptions {
   bool show_funnel = true;
   /// Include the per-step selection trace.
   bool show_trace = false;
+  /// Include the KG-coverage line (printed only when extraction ran).
+  /// Failed lookups make partial results visible right in the report;
+  /// retry counts live in the metrics snapshot, not here, so a fully
+  /// masked transient outage leaves the report byte-identical.
+  bool show_kg_coverage = true;
 };
 
 /// Renders a MesaReport as a human-readable block, e.g.:

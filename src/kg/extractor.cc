@@ -1,6 +1,8 @@
 #include "kg/extractor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -33,6 +35,32 @@ void GatherProperties(const TripleStore& store, EntityId entity,
   }
 }
 
+// The same gathering through the resilient client. A Properties call that
+// fails for good marks `*any_failure` and the walk keeps whatever other
+// branches it can reach — partial extraction beats no extraction.
+void GatherPropertiesClient(ResilientKgClient* client, EntityId entity,
+                            const std::string& prefix, size_t hops_left,
+                            std::map<std::string, std::vector<Value>>* out,
+                            bool* any_failure) {
+  Result<std::vector<KgProperty>> props = client->Properties(entity);
+  if (!props.ok()) {
+    *any_failure = true;
+    return;
+  }
+  for (const KgProperty& p : *props) {
+    std::string name = prefix.empty() ? p.predicate : prefix + "_" + p.predicate;
+    if (p.is_entity) {
+      (*out)[name].push_back(Value::String(p.entity_label));
+      if (hops_left > 1) {
+        GatherPropertiesClient(client, p.entity, name, hops_left - 1, out,
+                               any_failure);
+      }
+    } else {
+      (*out)[name].push_back(p.literal);
+    }
+  }
+}
+
 // Collapses a multi-valued attribute to a single Value.
 Value CollapseValues(const std::vector<Value>& values,
                      AggregateFunction agg) {
@@ -60,62 +88,31 @@ Value CollapseValues(const std::vector<Value>& values,
   return Value::String(texts.front());
 }
 
-}  // namespace
+// Per-key extraction output: attribute name -> collapsed value.
+using ExtractedRows =
+    std::vector<std::pair<std::string, std::map<std::string, Value>>>;
 
-Result<Table> ExtractAttributes(const Table& table, const std::string& column,
-                                const TripleStore& store,
-                                const ExtractionOptions& options,
-                                ExtractionStats* stats) {
-  MESA_SPAN("kg_extract");
+// Distinct non-null key values of a string column, sorted for determinism.
+Result<std::set<std::string>> DistinctKeys(const Table& table,
+                                           const std::string& column) {
   MESA_ASSIGN_OR_RETURN(const Column* keys, table.ColumnByName(column));
   if (keys->type() != DataType::kString) {
     return Status::InvalidArgument(
         "extraction column must be string-valued: " + column);
   }
-
-  // Distinct non-null key values, in sorted order for determinism.
   std::set<std::string> distinct;
   for (size_t r = 0; r < keys->size(); ++r) {
     if (keys->IsValid(r)) distinct.insert(keys->StringAt(r));
   }
+  return distinct;
+}
 
-  ExtractionStats local_stats;
-  local_stats.values_total = distinct.size();
-
-  EntityLinker linker(&store, options.linker);
-
-  // Per key value: attribute -> collapsed value.
-  std::vector<std::pair<std::string, std::map<std::string, Value>>> rows;
-  std::set<std::string> attr_names;
-  for (const std::string& key : distinct) {
-    LinkResult link = linker.Link(key);
-    if (!link.linked()) {
-      if (link.outcome == LinkOutcome::kAmbiguous) {
-        ++local_stats.values_ambiguous;
-      } else {
-        ++local_stats.values_not_found;
-      }
-      rows.emplace_back(key, std::map<std::string, Value>{});
-      continue;
-    }
-    ++local_stats.values_linked;
-    std::map<std::string, std::vector<Value>> props;
-    GatherProperties(store, *link.entity, "", options.hops, &props);
-    std::map<std::string, Value> collapsed;
-    for (auto& [name, values] : props) {
-      Value v = CollapseValues(values, options.one_to_many_agg);
-      if (!v.is_null()) {
-        collapsed.emplace(name, std::move(v));
-        attr_names.insert(name);
-      }
-    }
-    rows.emplace_back(key, std::move(collapsed));
-  }
-  local_stats.attributes_extracted = attr_names.size();
-  if (stats != nullptr) *stats = local_stats;
-
-  // Decide each attribute's type: double if every observed value is
-  // numeric, else string.
+// Assembles the universal relation from per-key rows: decides each
+// attribute's type (double if every observed value is numeric, else
+// string) and materialises one row per key value.
+Result<Table> AssembleUniversalRelation(const std::string& column,
+                                        const ExtractedRows& rows,
+                                        const std::set<std::string>& attr_names) {
   std::map<std::string, DataType> attr_types;
   for (const std::string& name : attr_names) {
     bool all_numeric = true;
@@ -130,7 +127,6 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
     attr_types[name] = all_numeric ? DataType::kDouble : DataType::kString;
   }
 
-  // Assemble the universal relation.
   Schema schema;
   MESA_RETURN_IF_ERROR(schema.AddField({column, DataType::kString}));
   for (const auto& [name, type] : attr_types) {
@@ -160,25 +156,41 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
   return Table::Make(std::move(schema), std::move(cols));
 }
 
-Result<AugmentResult> AugmentTableFromKg(
+// Collapses one key's multi-valued properties into its output row.
+void CollapseIntoRow(const std::string& key,
+                     std::map<std::string, std::vector<Value>>& props,
+                     AggregateFunction agg, ExtractedRows* rows,
+                     std::set<std::string>* attr_names) {
+  std::map<std::string, Value> collapsed;
+  for (auto& [name, values] : props) {
+    Value v = CollapseValues(values, agg);
+    if (!v.is_null()) {
+      collapsed.emplace(name, std::move(v));
+      attr_names->insert(name);
+    }
+  }
+  rows->emplace_back(key, std::move(collapsed));
+}
+
+// Shared augmentation driver: extracts per column via `extract`, renames
+// collisions, and left-joins the attributes onto the base table.
+Result<AugmentResult> AugmentImpl(
     const Table& table, const std::vector<std::string>& columns,
-    const TripleStore& store, const ExtractionOptions& options) {
+    const std::function<Result<Table>(const std::string&, ExtractionStats*)>&
+        extract) {
   AugmentResult out;
   out.table = table;
   for (const std::string& column : columns) {
     ExtractionStats stats;
-    MESA_ASSIGN_OR_RETURN(
-        Table extracted, ExtractAttributes(table, column, store, options, &stats));
+    MESA_ASSIGN_OR_RETURN(Table extracted, extract(column, &stats));
     out.stats.values_total += stats.values_total;
     out.stats.values_linked += stats.values_linked;
     out.stats.values_ambiguous += stats.values_ambiguous;
     out.stats.values_not_found += stats.values_not_found;
+    out.stats.values_failed += stats.values_failed;
+    out.stats.lookups_retried += stats.lookups_retried;
 
     // Rename collisions with a column-specific prefix before joining.
-    std::vector<std::string> attr_names;
-    for (size_t c = 1; c < extracted.num_columns(); ++c) {
-      attr_names.push_back(extracted.schema().field(c).name);
-    }
     Schema renamed_schema;
     std::vector<Column> renamed_cols;
     MESA_RETURN_IF_ERROR(
@@ -214,8 +226,125 @@ Result<AugmentResult> AugmentTableFromKg(
   MESA_COUNT_N("kg/values_linked", out.stats.values_linked);
   MESA_COUNT_N("kg/values_ambiguous", out.stats.values_ambiguous);
   MESA_COUNT_N("kg/values_not_found", out.stats.values_not_found);
+  MESA_COUNT_N("kg/values_failed", out.stats.values_failed);
   MESA_COUNT_N("kg/attributes_extracted", out.stats.attributes_extracted);
   return out;
+}
+
+}  // namespace
+
+Result<Table> ExtractAttributes(const Table& table, const std::string& column,
+                                const TripleStore& store,
+                                const ExtractionOptions& options,
+                                ExtractionStats* stats) {
+  MESA_SPAN("kg_extract");
+  MESA_ASSIGN_OR_RETURN(std::set<std::string> distinct,
+                        DistinctKeys(table, column));
+
+  ExtractionStats local_stats;
+  local_stats.values_total = distinct.size();
+
+  EntityLinker linker(&store, options.linker);
+
+  ExtractedRows rows;
+  std::set<std::string> attr_names;
+  for (const std::string& key : distinct) {
+    LinkResult link = linker.Link(key);
+    if (!link.linked()) {
+      if (link.outcome == LinkOutcome::kAmbiguous) {
+        ++local_stats.values_ambiguous;
+      } else {
+        ++local_stats.values_not_found;
+      }
+      rows.emplace_back(key, std::map<std::string, Value>{});
+      continue;
+    }
+    ++local_stats.values_linked;
+    std::map<std::string, std::vector<Value>> props;
+    GatherProperties(store, *link.entity, "", options.hops, &props);
+    CollapseIntoRow(key, props, options.one_to_many_agg, &rows, &attr_names);
+  }
+  local_stats.attributes_extracted = attr_names.size();
+  if (stats != nullptr) *stats = local_stats;
+  return AssembleUniversalRelation(column, rows, attr_names);
+}
+
+Result<Table> ExtractAttributes(const Table& table, const std::string& column,
+                                ResilientKgClient* client,
+                                const ExtractionOptions& options,
+                                ExtractionStats* stats) {
+  MESA_SPAN("kg_extract");
+  MESA_ASSIGN_OR_RETURN(std::set<std::string> distinct,
+                        DistinctKeys(table, column));
+
+  ExtractionStats local_stats;
+  local_stats.values_total = distinct.size();
+  const ResilientKgClient::Counters before = client->counters();
+
+  ExtractedRows rows;
+  std::set<std::string> attr_names;
+  for (const std::string& key : distinct) {
+    Result<LinkResult> link = client->Resolve(key, options.linker);
+    if (!link.ok()) {
+      // The lookup itself died (deadline, permanent endpoint fault).
+      // Degrade: keep the key with no attributes, count the failure.
+      ++local_stats.values_failed;
+      rows.emplace_back(key, std::map<std::string, Value>{});
+      continue;
+    }
+    if (!link->linked()) {
+      if (link->outcome == LinkOutcome::kAmbiguous) {
+        ++local_stats.values_ambiguous;
+      } else {
+        ++local_stats.values_not_found;
+      }
+      rows.emplace_back(key, std::map<std::string, Value>{});
+      continue;
+    }
+    ++local_stats.values_linked;
+    std::map<std::string, std::vector<Value>> props;
+    bool any_failure = false;
+    GatherPropertiesClient(client, *link->entity, "", options.hops, &props,
+                           &any_failure);
+    if (any_failure) ++local_stats.values_failed;
+    CollapseIntoRow(key, props, options.one_to_many_agg, &rows, &attr_names);
+  }
+  local_stats.attributes_extracted = attr_names.size();
+  local_stats.lookups_retried = static_cast<size_t>(
+      client->counters().calls_retried - before.calls_retried);
+  if (stats != nullptr) *stats = local_stats;
+
+  if (local_stats.Coverage() < options.min_coverage) {
+    char msg[160];
+    std::snprintf(msg, sizeof(msg),
+                  "KG coverage %.1f%% below floor %.1f%% on column '%s' "
+                  "(%zu of %zu values failed)",
+                  100.0 * local_stats.Coverage(),
+                  100.0 * options.min_coverage, column.c_str(),
+                  local_stats.values_failed, local_stats.values_total);
+    return Status::Unavailable(msg);
+  }
+  return AssembleUniversalRelation(column, rows, attr_names);
+}
+
+Result<AugmentResult> AugmentTableFromKg(
+    const Table& table, const std::vector<std::string>& columns,
+    const TripleStore& store, const ExtractionOptions& options) {
+  return AugmentImpl(table, columns,
+                     [&](const std::string& column, ExtractionStats* stats) {
+                       return ExtractAttributes(table, column, store, options,
+                                                stats);
+                     });
+}
+
+Result<AugmentResult> AugmentTableFromKg(
+    const Table& table, const std::vector<std::string>& columns,
+    ResilientKgClient* client, const ExtractionOptions& options) {
+  return AugmentImpl(table, columns,
+                     [&](const std::string& column, ExtractionStats* stats) {
+                       return ExtractAttributes(table, column, client, options,
+                                                stats);
+                     });
 }
 
 }  // namespace mesa

@@ -11,8 +11,12 @@ namespace {
 
 // Splits one logical CSV record honouring quotes. `pos` points at the start
 // of the record within `text` and is advanced past the trailing newline.
+// A quote still open at end of input sets `*unterminated_quote`: the input
+// was cut inside a quoted field (or a quote was never balanced) and the
+// "record" consumed everything to EOF — the caller must reject it rather
+// than store the tail of the file as one cell.
 std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
-                                     char delim) {
+                                     char delim, bool* unterminated_quote) {
   std::vector<std::string> fields;
   std::string cur;
   bool in_quotes = false;
@@ -46,6 +50,7 @@ std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
   }
   fields.push_back(std::move(cur));
   *pos = i;
+  *unterminated_quote = in_quotes;
   return fields;
 }
 
@@ -78,12 +83,23 @@ Result<Table> ReadCsvString(const std::string& text,
   }
   size_t pos = 0;
   if (text.empty()) return Status::InvalidArgument("empty CSV input");
-  std::vector<std::string> header = ParseRecord(text, &pos, options.delimiter);
+  bool unterminated = false;
+  std::vector<std::string> header =
+      ParseRecord(text, &pos, options.delimiter, &unterminated);
+  if (unterminated) {
+    return Status::InvalidArgument("unterminated quoted field in CSV header");
+  }
 
   std::vector<std::vector<std::string>> cells;  // row-major
   while (pos < text.size()) {
     size_t before = pos;
-    std::vector<std::string> rec = ParseRecord(text, &pos, options.delimiter);
+    std::vector<std::string> rec =
+        ParseRecord(text, &pos, options.delimiter, &unterminated);
+    if (unterminated) {
+      return Status::InvalidArgument(
+          "unterminated quoted field in CSV record at byte " +
+          std::to_string(before));
+    }
     if (rec.size() == 1 && rec[0].empty()) continue;  // blank line
     if (rec.size() != header.size()) {
       return Status::InvalidArgument(
@@ -97,10 +113,54 @@ Result<Table> ReadCsvString(const std::string& text,
   const size_t ncols = header.size();
   const size_t nrows = cells.size();
 
-  // Type inference per column.
+  // Declared columns must exist and use a storable type: a typo'd name
+  // would silently disable the strict check the caller asked for.
+  for (const auto& [name, type] : options.declared_types) {
+    bool found = false;
+    for (const auto& h : header) found = found || h == name;
+    if (!found) {
+      return Status::InvalidArgument("declared type for unknown CSV column '" +
+                                     name + "'");
+    }
+    if (type != DataType::kInt64 && type != DataType::kDouble &&
+        type != DataType::kBool && type != DataType::kString) {
+      return Status::InvalidArgument("column '" + name +
+                                     "' declared with unsupported type " +
+                                     DataTypeName(type));
+    }
+  }
+
+  // Per column: declared type (strict) or inference (lenient).
   Schema schema;
   std::vector<DataType> types(ncols);
   for (size_t c = 0; c < ncols; ++c) {
+    auto declared = options.declared_types.find(header[c]);
+    if (declared != options.declared_types.end()) {
+      const DataType t = declared->second;
+      for (size_t r = 0; r < nrows; ++r) {
+        const std::string& cell = cells[r][c];
+        if (IsNullToken(cell, options.null_tokens)) continue;
+        int64_t iv;
+        double dv;
+        bool bv;
+        // ParseInt64 rejects out-of-range literals, so an int64 overflow
+        // is an error here rather than a silent wrap or widen.
+        const bool cell_ok =
+            t == DataType::kString ||
+            (t == DataType::kInt64 && ParseInt64(cell, &iv)) ||
+            (t == DataType::kDouble && ParseDouble(cell, &dv)) ||
+            (t == DataType::kBool && ParseBoolToken(cell, &bv));
+        if (!cell_ok) {
+          return Status::InvalidArgument(
+              "cell '" + cell + "' in column '" + header[c] + "' (data row " +
+              std::to_string(r + 1) + ") does not parse as declared type " +
+              DataTypeName(t));
+        }
+      }
+      types[c] = t;
+      MESA_RETURN_IF_ERROR(schema.AddField({header[c], t}));
+      continue;
+    }
     bool all_int = true, all_num = true, all_bool = true, any_value = false;
     for (size_t r = 0; r < nrows; ++r) {
       const std::string& cell = cells[r][c];

@@ -1,6 +1,7 @@
 #ifndef MESA_TABLE_CSV_H_
 #define MESA_TABLE_CSV_H_
 
+#include <map>
 #include <string>
 
 #include "common/result.h"
@@ -15,12 +16,22 @@ struct CsvReadOptions {
   bool has_header = true;
   /// Cell spellings interpreted as null, compared case-insensitively.
   std::vector<std::string> null_tokens = {"", "NULL", "NA", "N/A", "nan"};
+  /// Columns with a declared type skip inference and parse *strictly*: a
+  /// non-null cell that does not parse as the declared type (including an
+  /// int64 literal that would overflow) fails the whole read with
+  /// InvalidArgument instead of silently degrading the column to a wider
+  /// type. Keyed by header name; names absent from the CSV are an error.
+  std::map<std::string, DataType> declared_types;
 };
 
 /// Parses CSV text into a Table with per-column type inference:
 /// a column is int64 if every non-null cell parses as an integer, else
 /// double if every non-null cell parses as a number, else bool if every
 /// non-null cell is true/false, else string.
+///
+/// Structural damage is never repaired silently: a record with the wrong
+/// field count (e.g. a truncated final row) and a quoted field left open
+/// at end of input both fail with InvalidArgument.
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options = {});
 

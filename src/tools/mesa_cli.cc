@@ -46,6 +46,13 @@ int Usage() {
       [--trace]                            show MCIMR's selection steps
       [--metrics[=FILE]]                   dump the metrics/tracing JSON
                                            snapshot (stdout, or to FILE)
+      [--fault-plan PLAN]                  inject KG endpoint faults, e.g.
+                                           "seed=7;timeout=0.2;latency=1:5"
+                                           (default: $MESA_FAULT_PLAN;
+                                           see docs/robustness.md)
+      [--min-coverage F]                   fail if fewer than this fraction
+                                           of KG key values survive lookup
+                                           failures (default 0 = never)
 )");
   return 1;
 }
@@ -187,6 +194,16 @@ int RunExplain(const Flags& flags) {
   if (flags.Has("no-prune")) {
     options.enable_offline_pruning = false;
     options.enable_online_pruning = false;
+  }
+  options.fault_plan = flags.Get("fault-plan");
+  if (flags.Has("min-coverage")) {
+    double floor = 0.0;
+    if (!ParseDouble(flags.Get("min-coverage"), &floor) || floor < 0.0 ||
+        floor > 1.0) {
+      std::fprintf(stderr, "--min-coverage must be a fraction in [0,1]\n");
+      return 1;
+    }
+    options.extraction.min_coverage = floor;
   }
 
   Mesa mesa(std::move(*table), kg_ptr, extract, options);

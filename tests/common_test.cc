@@ -90,6 +90,18 @@ TEST(Result, MoveOutValue) {
   EXPECT_EQ(v.size(), 3u);
 }
 
+// A Result built from an OK Status is a contradiction: it claims failure
+// while holding no error and no value. The constructor must hard-fail in
+// every build mode (release included), not just under NDEBUG-off asserts.
+TEST(ResultDeathTest, OkStatusIsFatalInAllBuildModes) {
+  EXPECT_DEATH(
+      {
+        Status ok = Status::OK();
+        Result<int> r(std::move(ok));
+      },
+      "must not be built from an OK Status");
+}
+
 // ------------------------------------------------------------------- Rng
 
 TEST(Rng, Deterministic) {
