@@ -5,11 +5,14 @@
 // Reported per variant: quality score vs planted ground truth, explanation
 // size, explainability, and runtime — averaged over the 14 queries.
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "info/info_cache.h"
 
 namespace mesa {
 namespace bench {
@@ -47,6 +50,75 @@ std::vector<Variant> Variants() {
     out.push_back(v);
   }
   return out;
+}
+
+// Interleaved A/B of the sufficient-statistics cache over the ablation's
+// heaviest workload: every variant on every canonical query of one
+// dataset. Each rep re-prepares each query from scratch, so warm reps
+// measure the serving scenario (repeated queries against a filled
+// process-wide cache) and the cold fill bounds one-shot overhead. The
+// acceptance bar is a >= 25% reduction in total CMI-kernel time (see
+// docs/performance.md for recorded numbers).
+void RunCacheAb(DatasetKind kind) {
+  BenchWorld world = MakeBenchWorld(kind, BenchRows(kind));
+  const size_t prev_threads = NumThreads();
+  SetNumThreads(1);
+  auto once = [&] {
+    for (const BenchQuery& bq : CanonicalQueries(kind)) {
+      auto pq = world.mesa->PrepareQuery(bq.query);
+      MESA_CHECK(pq.ok());
+      for (const Variant& v : Variants()) {
+        RunMcimr(*pq->analysis, pq->candidate_indices, v.options);
+      }
+    }
+  };
+  info_cache::SetEnabled(false);
+  once();  // warm-up, cache untouched
+
+  // Cold fill: one cache-on run against an empty cache.
+  info_cache::SetEnabled(true);
+  info_cache::Clear();
+  InfoCacheDelta cold_counters = ReadInfoCacheCounters();
+  double cold_s = InfoKernelSeconds();
+  once();
+  cold_s = InfoKernelSeconds() - cold_s;
+  cold_counters = ReadInfoCacheCounters() - cold_counters;
+
+  constexpr size_t kReps = 3;
+  std::vector<double> kernel_on, kernel_off;
+  InfoCacheDelta warm_counters{};
+  for (size_t i = 0; i < kReps; ++i) {
+    info_cache::SetEnabled(true);  // cache stays warm across reps
+    InfoCacheDelta cb = ReadInfoCacheCounters();
+    double kb = InfoKernelSeconds();
+    once();
+    kernel_on.push_back(InfoKernelSeconds() - kb);
+    warm_counters = ReadInfoCacheCounters() - cb;
+    info_cache::SetEnabled(false);
+    kb = InfoKernelSeconds();
+    once();
+    kernel_off.push_back(InfoKernelSeconds() - kb);
+  }
+  info_cache::SetEnabled(true);
+  SetNumThreads(prev_threads);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  double on_s = median(kernel_on), off_s = median(kernel_off);
+  std::printf(
+      "\nsufficient-statistics cache A/B (%s, %zu rows, all variants x all\n"
+      "queries, 1 thread, interleaved, median of %zu):\n"
+      "  CMI-kernel time: warm cache %.3fs, off %.3fs -> %+.1f%%"
+      " (target: <= -25%%)\n"
+      "                   cold fill  %.3fs vs off -> %+.1f%%\n"
+      "  counters: cold fill %s\n"
+      "            one warm  %s\n",
+      DatasetKindName(kind), BenchRows(kind), kReps, on_s, off_s,
+      off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0, cold_s,
+      off_s > 0.0 ? 100.0 * (cold_s - off_s) / off_s : 0.0,
+      InfoCacheDeltaToString(cold_counters).c_str(),
+      InfoCacheDeltaToString(warm_counters).c_str());
 }
 
 void Run() {
@@ -94,6 +166,8 @@ void Run() {
       "quality (without them redundant twins / entity-keying sets creep\n"
       "in); disabling the responsibility stop inflates explanation size\n"
       "without improving quality.\n");
+
+  RunCacheAb(DatasetKind::kFlights);
 }
 
 }  // namespace

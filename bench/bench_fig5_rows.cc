@@ -15,6 +15,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "core/mcimr.h"
+#include "info/info_cache.h"
 
 namespace mesa {
 namespace bench {
@@ -29,15 +30,19 @@ void RunDataset(DatasetKind kind, const std::vector<size_t>& row_counts) {
   const QuerySpec query = CanonicalQueries(kind)[0].query;
 
   std::printf("\n--- %s ---\n", DatasetKindName(kind));
-  std::printf("  %s %s %s %s %s\n", Pad("rows", 10).c_str(),
+  std::printf("  %s %s %s %s %s %s %s\n", Pad("rows", 10).c_str(),
               Pad("mcimr_s", 9).c_str(), Pad("analysis_s", 11).c_str(),
-              Pad("preproc_s", 10).c_str(), Pad("mcimr evals", 24).c_str());
+              Pad("preproc_s", 10).c_str(), Pad("kernel_s", 9).c_str(),
+              Pad("mcimr evals", 24).c_str(), "cache hit/miss");
   Rng rng(99);
   for (size_t rows : row_counts) {
     std::vector<size_t> idx = rng.Permutation(ds->table.num_rows());
     idx.resize(rows);
     Table sub = ds->table.TakeRows(idx);
     Mesa mesa(std::move(sub), ds->kg.get(), ds->extraction_columns);
+    // Fresh cache per row count so reported hit rates are per-run, not
+    // residue from the previous (subsampled, so different-content) run.
+    info_cache::Clear();
     Timer preproc_timer;
     MESA_CHECK(mesa.Preprocess().ok());
     double preproc_s = preproc_timer.Seconds();
@@ -46,15 +51,102 @@ void RunDataset(DatasetKind kind, const std::vector<size_t>& row_counts) {
     MESA_CHECK(pq.ok());
     double analysis_s = analysis_timer.Seconds();
     EvalCounts before = ReadEvalCounts();
+    InfoCacheDelta cache_before = ReadInfoCacheCounters();
+    double kernel_before = InfoKernelSeconds();
     Timer mcimr_timer;
     Explanation ex = RunMcimr(*pq->analysis, pq->candidate_indices);
     (void)ex;
     double mcimr_s = mcimr_timer.Seconds();
-    std::printf("  %s %-9.3f %-11.3f %-10.3f %s\n",
+    std::printf("  %s %-9.3f %-11.3f %-10.3f %-9.3f %s %s\n",
                 Pad(std::to_string(rows), 10).c_str(), mcimr_s, analysis_s,
-                preproc_s,
-                EvalCountsToString(ReadEvalCounts() - before).c_str());
+                preproc_s, InfoKernelSeconds() - kernel_before,
+                Pad(EvalCountsToString(ReadEvalCounts() - before), 24).c_str(),
+                InfoCacheDeltaToString(ReadInfoCacheCounters() - cache_before)
+                    .c_str());
   }
+}
+
+// Interleaved A/B of the sufficient-statistics cache on the full
+// prepare+MCIMR pipeline at one dataset size. Two cache-on numbers are
+// reported: the *cold* first run (the cache fills — this bounds the
+// overhead a one-shot query pays) and the *warm* steady state (the
+// query repeats against a filled cache — the serving scenario the
+// cache exists for). The acceptance bar is a >= 25% reduction in total
+// CMI-kernel time at the largest benchmarked row count
+// (docs/performance.md records measured numbers).
+void RunCacheAb(DatasetKind kind, size_t rows) {
+  GenOptions gen;
+  gen.rows = rows;
+  auto ds = MakeDataset(kind, gen);
+  MESA_CHECK(ds.ok());
+  const QuerySpec query = CanonicalQueries(kind)[0].query;
+  Mesa mesa(ds->table, ds->kg.get(), ds->extraction_columns);
+  MESA_CHECK(mesa.Preprocess().ok());
+  const size_t prev_threads = NumThreads();
+  SetNumThreads(1);
+  auto once = [&] {
+    auto pq = mesa.PrepareQuery(query);
+    MESA_CHECK(pq.ok());
+    RunMcimr(*pq->analysis, pq->candidate_indices);
+  };
+  info_cache::SetEnabled(false);
+  once();  // warm-up (pool, allocator, page cache), cache untouched
+
+  // Cold fill: one cache-on run against an empty cache.
+  info_cache::SetEnabled(true);
+  info_cache::Clear();
+  InfoCacheDelta cold_counters = ReadInfoCacheCounters();
+  double cold_s = InfoKernelSeconds();
+  once();
+  cold_s = InfoKernelSeconds() - cold_s;
+  cold_counters = ReadInfoCacheCounters() - cold_counters;
+
+  // Steady state: interleaved on/off reps; the cache stays warm across
+  // them (off runs never read or write it).
+  constexpr size_t kReps = 5;
+  std::vector<double> kernel_on, kernel_off, wall_on, wall_off;
+  InfoCacheDelta warm_counters{};
+  for (size_t i = 0; i < kReps; ++i) {
+    info_cache::SetEnabled(true);
+    InfoCacheDelta cb = ReadInfoCacheCounters();
+    double kb = InfoKernelSeconds();
+    Timer t_on;
+    once();
+    wall_on.push_back(t_on.Seconds());
+    kernel_on.push_back(InfoKernelSeconds() - kb);
+    warm_counters = ReadInfoCacheCounters() - cb;
+    info_cache::SetEnabled(false);
+    kb = InfoKernelSeconds();
+    Timer t_off;
+    once();
+    wall_off.push_back(t_off.Seconds());
+    kernel_off.push_back(InfoKernelSeconds() - kb);
+  }
+  info_cache::SetEnabled(true);
+  SetNumThreads(prev_threads);
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  double on_s = median(kernel_on), off_s = median(kernel_off);
+  std::printf(
+      "\nsufficient-statistics cache A/B (%s, %zu rows, prepare+mcimr,\n"
+      "1 thread, interleaved, median of %zu):\n"
+      "  CMI-kernel time: warm cache %.3fs, off %.3fs -> %+.1f%%"
+      " (target: <= -25%%)\n"
+      "                   cold fill  %.3fs vs off -> %+.1f%%\n"
+      "  wall time:       warm cache %.3fs, off %.3fs -> %+.1f%%\n"
+      "  counters: cold fill %s\n"
+      "            one warm  %s\n",
+      DatasetKindName(kind), rows, kReps, on_s, off_s,
+      off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0, cold_s,
+      off_s > 0.0 ? 100.0 * (cold_s - off_s) / off_s : 0.0,
+      median(wall_on), median(wall_off),
+      median(wall_off) > 0.0
+          ? 100.0 * (median(wall_on) - median(wall_off)) / median(wall_off)
+          : 0.0,
+      InfoCacheDeltaToString(cold_counters).c_str(),
+      InfoCacheDeltaToString(warm_counters).c_str());
 }
 
 void Run() {
@@ -62,6 +154,10 @@ void Run() {
   RunDataset(DatasetKind::kStackOverflow, {5000, 10000, 20000, 47623});
   RunDataset(DatasetKind::kFlights, {25000, 50000, 100000, 200000, 400000});
   RunDataset(DatasetKind::kForbes, {400, 800, 1647});
+
+  // Cache A/B at the largest row counts of the two biggest datasets.
+  RunCacheAb(DatasetKind::kStackOverflow, 47623);
+  RunCacheAb(DatasetKind::kFlights, 400000);
 
   // Thread sweep: the same prepare+MCIMR pipeline at 1 / 2 / N pool
   // threads (bit-identical explanations; only wall time moves). Each run

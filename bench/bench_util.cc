@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "info/info_cache.h"
 #include "common/string_util.h"
 #include "core/baselines/brute_force.h"
 #include "core/baselines/hypdb.h"
@@ -232,6 +233,54 @@ std::string EvalCountsToString(const EvalCounts& c) {
                 static_cast<unsigned long long>(c.mi),
                 static_cast<unsigned long long>(c.entropy),
                 static_cast<unsigned long long>(c.ci_tests));
+  return buf;
+}
+
+double InfoKernelSeconds() {
+  metrics::Snapshot snap = metrics::TakeSnapshot();
+  double ns = 0.0;
+  for (const auto& [name, stats] : snap.distributions) {
+    size_t pos = name.rfind('/');
+    const std::string seg =
+        pos == std::string::npos ? name : name.substr(pos + 1);
+    if (seg == "cmi" || seg == "mi" || seg == "entropy" ||
+        seg == "cond_entropy") {
+      ns += stats.sum;
+    }
+  }
+  return ns / 1e9;
+}
+
+InfoCacheDelta ReadInfoCacheCounters() {
+  info_cache::Stats s = info_cache::GetStats();
+  InfoCacheDelta d;
+  d.scalar_hits = s.scalar_hits;
+  d.scalar_misses = s.scalar_misses;
+  d.cube_hits = s.cube_hits;
+  d.cube_misses = s.cube_misses;
+  d.evictions = s.scalar_evictions + s.cube_evictions;
+  return d;
+}
+
+InfoCacheDelta operator-(const InfoCacheDelta& a, const InfoCacheDelta& b) {
+  InfoCacheDelta d;
+  d.scalar_hits = a.scalar_hits - b.scalar_hits;
+  d.scalar_misses = a.scalar_misses - b.scalar_misses;
+  d.cube_hits = a.cube_hits - b.cube_hits;
+  d.cube_misses = a.cube_misses - b.cube_misses;
+  d.evictions = a.evictions - b.evictions;
+  return d;
+}
+
+std::string InfoCacheDeltaToString(const InfoCacheDelta& d) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "scalar %llu/%llu cube %llu/%llu evict %llu",
+                static_cast<unsigned long long>(d.scalar_hits),
+                static_cast<unsigned long long>(d.scalar_misses),
+                static_cast<unsigned long long>(d.cube_hits),
+                static_cast<unsigned long long>(d.cube_misses),
+                static_cast<unsigned long long>(d.evictions));
   return buf;
 }
 

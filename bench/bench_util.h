@@ -116,6 +116,29 @@ EvalCounts operator-(const EvalCounts& a, const EvalCounts& b);
 /// "cmi=812 mi=40 H=120 ci=6"
 std::string EvalCountsToString(const EvalCounts& c);
 
+/// Cumulative wall time spent inside the information-theoretic kernels,
+/// in seconds: the sum of every span distribution whose final path
+/// segment is cmi / mi / entropy / cond_entropy (span sums are
+/// nanoseconds; see docs/observability.md). Take a reading before and
+/// after a phase and subtract. Zero when MESA_METRICS=OFF — the cache
+/// A/B sections of the benches report "n/a" in that case.
+double InfoKernelSeconds();
+
+/// Compact rendering of the sufficient-statistics cache counters:
+/// "scalar <hits>/<misses> cube <hits>/<misses> evict <n>". Pass a
+/// before/after delta for per-phase numbers. Works regardless of
+/// MESA_METRICS (reads the cache's own atomics).
+struct InfoCacheDelta {
+  uint64_t scalar_hits = 0;
+  uint64_t scalar_misses = 0;
+  uint64_t cube_hits = 0;
+  uint64_t cube_misses = 0;
+  uint64_t evictions = 0;
+};
+InfoCacheDelta ReadInfoCacheCounters();
+InfoCacheDelta operator-(const InfoCacheDelta& a, const InfoCacheDelta& b);
+std::string InfoCacheDeltaToString(const InfoCacheDelta& d);
+
 }  // namespace bench
 }  // namespace mesa
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Checks that every relative link in the repo's markdown files resolves.
+
+Usage: scripts/check_markdown_links.py [FILE_OR_DIR ...]
+       (defaults to README.md and docs/ relative to the repo root)
+
+Verifies, for each `[text](target)` and `[ref]: target` link:
+  - relative file targets exist (resolved against the linking file);
+  - `#anchor` fragments match a heading in the target file, using
+    GitHub's slug rules (lowercase, spaces to dashes, punctuation
+    dropped);
+  - bare `#anchor` links match a heading in the linking file itself.
+
+External links (http/https/mailto) are NOT fetched — CI must not
+depend on network weather. Exit code is the number of broken links.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) — target ends at the first unnested ')'.
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REF_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, punctuation out, spaces to dashes."""
+    # Inline code/links inside the heading contribute their text only.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                body = f.read()
+        except OSError:
+            cache[path] = set()
+        else:
+            slugs = set()
+            for m in HEADING.finditer(CODE_FENCE.sub("", body)):
+                slug = github_slug(m.group(1))
+                # Duplicate headings get -1, -2, ... suffixes on GitHub.
+                n = 0
+                candidate = slug
+                while candidate in slugs:
+                    n += 1
+                    candidate = f"{slug}-{n}"
+                slugs.add(candidate)
+            cache[path] = slugs
+    return cache[path]
+
+
+def check_file(md_path):
+    with open(md_path, encoding="utf-8") as f:
+        body = f.read()
+    body = CODE_FENCE.sub("", body)  # links in code blocks are examples
+    targets = [m.group(1) for m in INLINE_LINK.finditer(body)]
+    targets += [m.group(1) for m in REF_LINK.finditer(body)]
+    errors = []
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md_path), path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}: broken link -> {target}")
+                continue
+        else:
+            resolved = md_path
+        if fragment and resolved.endswith(".md"):
+            if fragment.lower() not in anchors_of(resolved):
+                errors.append(f"{md_path}: missing anchor -> {target}")
+    return errors
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                files += [os.path.join(root, n) for n in sorted(names)
+                          if n.endswith(".md")]
+        elif p.endswith(".md"):
+            files.append(p)
+    return files
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    args = sys.argv[1:] or [os.path.join(repo_root, "README.md"),
+                            os.path.join(repo_root, "docs")]
+    errors = []
+    files = collect(args)
+    for md in files:
+        errors += check_file(md)
+    for e in errors:
+        print(e)
+    print(f"checked {len(files)} files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+#ifndef MESA_COMMON_LRU_CACHE_H_
+#define MESA_COMMON_LRU_CACHE_H_
+
+/// A thread-safe, sharded LRU map used for memoization caches (the
+/// sufficient-statistics cache of src/info is the main client). Keys are
+/// 64-bit hashes; the shard is picked from the key's low bits so
+/// concurrent lookups of unrelated keys rarely contend on one mutex.
+///
+/// Capacity is expressed as a *cost budget per shard*: every entry
+/// carries a caller-supplied cost (1 for fixed-size values, the element
+/// count for variable-size ones), and inserting past the budget evicts
+/// least-recently-used entries until the new entry fits. An entry whose
+/// cost alone exceeds the budget is not admitted (the value is still
+/// returned to the caller — the cache only declines to keep it).
+///
+/// Determinism: the cache stores pure function results keyed by content
+/// hashes, so a hit returns exactly the value a recompute would produce.
+/// Eviction order depends on thread interleaving, but eviction only
+/// affects hit rates — never values.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace mesa {
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `cost_budget` is the per-shard budget; total memory is bounded by
+  /// kNumShards * cost_budget * sizeof(cost unit).
+  explicit ShardedLruCache(uint64_t cost_budget)
+      : cost_budget_(cost_budget) {}
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Looks up `key`; on a hit copies the value into `*value` and marks
+  /// the entry most-recently-used.
+  bool Lookup(uint64_t key, Value* value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+    *value = it->second->value;
+    return true;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting LRU entries until the shard
+  /// is within budget. Re-inserting an existing key refreshes recency but
+  /// keeps the first value (all callers compute the same pure function).
+  void Insert(uint64_t key, Value value, uint64_t cost) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.entries.splice(shard.entries.begin(), shard.entries, it->second);
+      return;
+    }
+    if (cost > cost_budget_) return;  // would never fit; don't thrash
+    while (shard.cost + cost > cost_budget_ && !shard.entries.empty()) {
+      const Entry& victim = shard.entries.back();
+      shard.cost -= victim.cost;
+      shard.index.erase(victim.key);
+      shard.entries.pop_back();
+      ++shard.evictions;
+    }
+    shard.entries.push_front(Entry{key, std::move(value), cost});
+    shard.index.emplace(key, shard.entries.begin());
+    shard.cost += cost;
+  }
+
+  /// Drops every entry (stats are kept).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.entries.clear();
+      shard.index.clear();
+      shard.cost = 0;
+    }
+  }
+
+  /// Current number of entries (approximate under concurrent writers).
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.index.size();
+    }
+    return n;
+  }
+
+  /// Total cost currently held (approximate under concurrent writers).
+  uint64_t cost() const {
+    uint64_t c = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      c += shard.cost;
+    }
+    return c;
+  }
+
+  /// Total entries evicted to make room since construction.
+  uint64_t evictions() const {
+    uint64_t e = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      e += shard.evictions;
+    }
+    return e;
+  }
+
+  uint64_t cost_budget() const { return cost_budget_; }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+
+  struct Entry {
+    uint64_t key;
+    Value value;
+    uint64_t cost;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> entries;  // front = most recently used
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index;
+    uint64_t cost = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[key % kNumShards]; }
+
+  const uint64_t cost_budget_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_LRU_CACHE_H_

@@ -28,9 +28,7 @@ Result<Explanation> RunHypDb(const QueryAnalysis& analysis,
   const CodedVariable& o = analysis.outcome();
   const CodedVariable& t = analysis.exposure();
   const EntropyOptions& eopts = analysis.options().entropy;
-  CodedVariable trivial;
-  trivial.codes.assign(o.codes.size(), 0);
-  trivial.cardinality = 1;
+  const CodedVariable& trivial = analysis.CombinedCode({});
 
   // Confounder criteria: E associated with T and with O (marginally — a
   // group-level attribute has no within-T variation, so a conditional test

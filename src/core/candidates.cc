@@ -11,6 +11,20 @@
 
 namespace mesa {
 
+namespace {
+
+// Cache key of a *sorted* candidate index set ("" for the empty set).
+std::string SetKey(const std::vector<size_t>& sorted) {
+  std::string key;
+  for (size_t i : sorted) {
+    key += std::to_string(i);
+    key += ',';
+  }
+  return key;
+}
+
+}  // namespace
+
 Result<QueryAnalysis> QueryAnalysis::Prepare(
     const Table& table, const QuerySpec& query,
     const std::vector<std::string>& candidates,
@@ -117,11 +131,8 @@ Result<QueryAnalysis> QueryAnalysis::Prepare(
   }
 
   // I(O;T|C): context already applied, so condition on the trivial code.
-  CodedVariable trivial;
-  trivial.codes.assign(qa.n_, 0);
-  trivial.cardinality = 1;
   qa.base_cmi_ = ConditionalMutualInformation(qa.outcome_, qa.exposure_,
-                                              trivial, nullptr,
+                                              qa.CombinedCode({}), nullptr,
                                               options.entropy);
   qa.single_cmi_cache_.assign(qa.attributes_.size(),
                               std::numeric_limits<double>::quiet_NaN());
@@ -184,16 +195,49 @@ std::vector<double> QueryAnalysis::CombinedWeights(
   return w;
 }
 
+const CodedVariable& QueryAnalysis::CombinedCode(
+    const std::vector<size_t>& indices) const {
+  // Singletons alias the prepared code (no fold, and the memoized
+  // fingerprint lives with the attribute).
+  if (indices.size() == 1) {
+    MESA_CHECK(indices[0] < attributes_.size());
+    return attributes_[indices[0]].coded;
+  }
+  std::vector<size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = SetKey(sorted);
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    auto it = combined_code_cache_.find(key);
+    if (it != combined_code_cache_.end()) {
+      MESA_COUNT("qa/combined_code/hit");
+      return *it->second;
+    }
+  }
+  MESA_COUNT("qa/combined_code/miss");
+  auto code = std::make_shared<CodedVariable>();
+  if (sorted.empty()) {
+    *code = ConstantCode(n_);
+  } else {
+    std::vector<const CodedVariable*> parts;
+    parts.reserve(sorted.size());
+    for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
+    *code = CombineAll(parts, n_);
+  }
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  // A lost compute race keeps the first insert (same pure value).
+  auto [it, inserted] = combined_code_cache_.emplace(
+      std::move(key), std::move(code));
+  (void)inserted;
+  return *it->second;
+}
+
 double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
   if (indices.empty()) return base_cmi_;
   if (indices.size() == 1) return CmiGivenAttribute(indices[0]);
   std::vector<size_t> sorted = indices;
   std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  for (size_t i : sorted) {
-    key += std::to_string(i);
-    key += ',';
-  }
+  std::string key = SetKey(sorted);
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     auto it = set_cmi_cache_.find(key);
@@ -204,10 +248,7 @@ double QueryAnalysis::CmiGivenSet(const std::vector<size_t>& indices) const {
   }
   MESA_COUNT("qa/set_cmi/miss");
 
-  std::vector<const CodedVariable*> parts;
-  parts.reserve(sorted.size());
-  for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
-  CodedVariable z = CombineAll(parts, n_);
+  const CodedVariable& z = CombinedCode(sorted);
   std::vector<double> w = CombinedWeights(sorted);
   double v = ConditionalMutualInformation(
       outcome_, exposure_, z, w.empty() ? nullptr : &w, options_.entropy);
@@ -297,11 +338,7 @@ double QueryAnalysis::IdentificationFraction(
   if (indices.empty()) return 0.0;
   std::vector<size_t> sorted = indices;
   std::sort(sorted.begin(), sorted.end());
-  std::string key;
-  for (size_t i : sorted) {
-    key += std::to_string(i);
-    key += ',';
-  }
+  std::string key = SetKey(sorted);
   {
     std::lock_guard<std::mutex> lock(*cache_mu_);
     auto it = ident_cache_.find(key);
@@ -312,9 +349,7 @@ double QueryAnalysis::IdentificationFraction(
   }
   MESA_COUNT("qa/ident/miss");
 
-  std::vector<const CodedVariable*> parts;
-  for (size_t i : sorted) parts.push_back(&attributes_[i].coded);
-  CodedVariable z = CombineAll(parts, n_);
+  const CodedVariable& z = CombinedCode(sorted);
   // stratum -> (T code or -2 when impure, row count)
   std::unordered_map<int32_t, std::pair<int32_t, size_t>> strata;
   size_t observed = 0;

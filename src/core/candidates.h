@@ -90,6 +90,17 @@ class QueryAnalysis {
   /// conditioning code (cached by index set).
   double CmiGivenSet(const std::vector<size_t>& indices) const;
 
+  /// The composite conditioning code over a candidate index set, built
+  /// once per distinct set and cached for the analysis lifetime. Every
+  /// consumer of a set encoding (CmiGivenSet, IdentificationFraction,
+  /// MCIMR's responsibility re-checks, the baselines) goes through here,
+  /// so the CombinePair fold — and the content fingerprint the
+  /// sufficient-statistics cache keys on — is computed once per set
+  /// instead of once per use. Singletons alias the prepared attribute's
+  /// code; the empty set is the constant (trivial) code. The reference
+  /// stays valid as long as the analysis lives.
+  const CodedVariable& CombinedCode(const std::vector<size_t>& indices) const;
+
   /// I(E_a; E_b) between candidates (cached, symmetric).
   double PairwiseMi(size_t a, size_t b) const;
 
@@ -164,6 +175,11 @@ class QueryAnalysis {
   mutable std::vector<double> entropy_cache_;
   mutable std::unordered_map<uint64_t, double> pair_mi_cache_;
   mutable std::unordered_map<std::string, double> set_cmi_cache_;
+  /// Composite conditioning codes by sorted index-set key ("" = trivial).
+  /// shared_ptr so returned references survive rehashing and moves.
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const CodedVariable>>
+      combined_code_cache_;
   mutable std::unordered_map<std::string, double> ident_cache_;
   mutable std::vector<int8_t> trap_cache_;  ///< -1 unknown, 0 no, 1 yes
   mutable size_t evaluations_ = 0;

@@ -124,10 +124,7 @@ Explanation RunMcimr(const QueryAnalysis& analysis,
       // samples the permutation count drops to the minimum that still
       // resolves alpha = 0.05 (each permutation costs a full O(n) CMI
       // pass; at millions of rows the test's power is not the constraint).
-      std::vector<const CodedVariable*> parts;
-      for (size_t s : selected) parts.push_back(&analysis.attributes()[s].coded);
-      CodedVariable z =
-          CombineAll(parts, analysis.outcome().codes.size());
+      const CodedVariable& z = analysis.CombinedCode(selected);
       IndependenceOptions ind = options.independence;
       if (analysis.num_rows() > 400'000) {
         ind.num_permutations = std::min<size_t>(ind.num_permutations, 39);

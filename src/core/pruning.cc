@@ -76,6 +76,10 @@ OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
   const CodedVariable& t = analysis.exposure();
   const EntropyOptions& eopts = analysis.options().entropy;
   const size_t n_rows = analysis.num_rows();
+  // Shared trivial conditioning code, hoisted out of the per-attribute
+  // lambda (and into the analysis's combined-code cache, so its content
+  // fingerprint is computed once for the whole query).
+  const CodedVariable& trivial = analysis.CombinedCode({});
 
   // Each attribute's verdict is independent: classify concurrently into
   // order-stable slots, then assemble kept/pruned lists in attribute order
@@ -107,9 +111,6 @@ OnlinePruneResult OnlinePrune(const QueryAnalysis& analysis,
         // bias-adjusted: the plug-in (C)MI of independent variables is
         // biased upward by ~ K_z (K_x - 1)(K_y - 1) / (2 N ln 2), so an
         // attribute only counts as relevant when it clears chance level.
-        CodedVariable trivial;
-        trivial.codes.assign(e.codes.size(), 0);
-        trivial.cardinality = 1;
         const double ln2 = 0.6931471805599453;
         double cells = static_cast<double>(e.cardinality - 1) *
                        static_cast<double>(o.cardinality - 1);

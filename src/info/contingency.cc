@@ -4,8 +4,27 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/retry.h"
 
 namespace mesa {
+
+uint64_t CodedVariable::fingerprint() const {
+  uint64_t v = fp.Load();
+  if (v != 0) return v;
+  uint64_t h = StableHash64Bytes(codes.data(), codes.size() * sizeof(int32_t));
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(cardinality)) *
+       0x9E3779B97F4A7C15ULL;
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  fp.Store(h);
+  return h;
+}
+
+CodedVariable ConstantCode(size_t n) {
+  CodedVariable constant;
+  constant.codes.assign(n, 0);
+  constant.cardinality = 1;
+  return constant;
+}
 
 CodedVariable CombinePair(const CodedVariable& a, const CodedVariable& b) {
   MESA_CHECK(a.codes.size() == b.codes.size());
@@ -32,12 +51,7 @@ CodedVariable CombinePair(const CodedVariable& a, const CodedVariable& b) {
 
 CodedVariable CombineAll(const std::vector<const CodedVariable*>& vars,
                          size_t n) {
-  if (vars.empty()) {
-    CodedVariable constant;
-    constant.codes.assign(n, 0);
-    constant.cardinality = 1;
-    return constant;
-  }
+  if (vars.empty()) return ConstantCode(n);
   CodedVariable acc = *vars[0];
   for (size_t i = 1; i < vars.size(); ++i) {
     acc = CombinePair(acc, *vars[i]);

@@ -4,16 +4,20 @@
 #include <cmath>
 
 #include "common/metrics.h"
+#include "info/info_cache.h"
+#include "info/key_packing.h"
 
 namespace mesa {
 
 namespace {
 
-int BitsFor(int32_t cardinality) {
-  int bits = 1;
-  while ((int64_t{1} << bits) < cardinality) ++bits;
-  return bits;
-}
+using info_internal::BitsFor;
+
+// Scalar-memo tags for the entropy family (see info_cache.h). Entropy
+// and conditional entropy have different missing-row semantics, so they
+// must never share a memo slot.
+constexpr uint64_t kTagEntropy = 0x48;      // "H"
+constexpr uint64_t kTagCondEntropy = 0x4348;  // "CH"
 
 double EntropyFromCounts(const std::vector<double>& counts, double total,
                          const EntropyOptions& options) {
@@ -38,9 +42,20 @@ double Entropy(const CodedVariable& x, const std::vector<double>* weights,
                const EntropyOptions& options) {
   MESA_COUNT("info/entropy_evals");
   MESA_SPAN("entropy");
+  uint64_t skey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[1] = {x.fingerprint()};
+    skey = info_cache::ScalarKey(kTagEntropy, fps, 1,
+                                 info_cache::WeightsFingerprint(weights),
+                                 options.miller_madow);
+    double memo = 0.0;
+    if (info_cache::LookupScalar(skey, &memo)) return memo;
+  }
   double total = 0.0;
   std::vector<double> counts = WeightedCounts(x, weights, &total);
-  return EntropyFromCounts(counts, total, options);
+  double r = EntropyFromCounts(counts, total, options);
+  if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
+  return r;
 }
 
 double JointEntropy(const CodedVariable& x, const CodedVariable& y,
@@ -54,10 +69,23 @@ double ConditionalEntropy(const CodedVariable& x, const CodedVariable& y,
                           const EntropyOptions& options) {
   MESA_COUNT("info/cond_entropy_evals");
   MESA_SPAN("cond_entropy");
+  // Whole-expression memo only: H(X|Y) skips rows missing in X *or* Y,
+  // a different support than any three-variable cube, so its kernel is
+  // never derived from cached cubes by projection.
+  uint64_t skey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[2] = {x.fingerprint(), y.fingerprint()};
+    skey = info_cache::ScalarKey(kTagCondEntropy, fps, 2,
+                                 info_cache::WeightsFingerprint(weights),
+                                 options.miller_madow);
+    double memo = 0.0;
+    if (info_cache::LookupScalar(skey, &memo)) return memo;
+  }
   // Dense fast path: one flat-array pass when the joint key space is small
   // (this runs per candidate inside the trap tests, so it must not hash).
   const int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   const int by = BitsFor(std::max<int32_t>(1, y.cardinality));
+  double r;
   if (bx + by <= 20) {
     std::vector<double> joint(size_t{1} << (bx + by), 0.0);
     double total = 0.0;
@@ -70,43 +98,48 @@ double ConditionalEntropy(const CodedVariable& x, const CodedVariable& y,
       joint[(static_cast<size_t>(cx) << by) | static_cast<size_t>(cy)] += w;
       total += w;
     }
-    if (total <= 0.0) return 0.0;
-    std::vector<double> marginal_y(size_t{1} << by, 0.0);
-    double h_xy = 0.0;
-    size_t support_xy = 0;
-    const double inv_total = 1.0 / total;
-    for (size_t key = 0; key < joint.size(); ++key) {
-      double c = joint[key];
-      if (c <= 0.0) continue;
-      ++support_xy;
-      double p = c * inv_total;
-      h_xy -= p * std::log2(p);
-      marginal_y[key & ((size_t{1} << by) - 1)] += c;
+    if (total <= 0.0) {
+      r = 0.0;
+    } else {
+      std::vector<double> marginal_y(size_t{1} << by, 0.0);
+      double h_xy = 0.0;
+      size_t support_xy = 0;
+      const double inv_total = 1.0 / total;
+      for (size_t key = 0; key < joint.size(); ++key) {
+        double c = joint[key];
+        if (c <= 0.0) continue;
+        ++support_xy;
+        double p = c * inv_total;
+        h_xy -= p * std::log2(p);
+        marginal_y[key & ((size_t{1} << by) - 1)] += c;
+      }
+      double h_y = 0.0;
+      size_t support_y = 0;
+      for (double c : marginal_y) {
+        if (c <= 0.0) continue;
+        ++support_y;
+        double p = c * inv_total;
+        h_y -= p * std::log2(p);
+      }
+      if (options.miller_madow) {
+        const double mm = 1.0 / (2.0 * total * std::log(2.0));
+        if (support_xy > 1) h_xy += (support_xy - 1) * mm;
+        if (support_y > 1) h_y += (support_y - 1) * mm;
+      }
+      r = h_xy - h_y;
     }
-    double h_y = 0.0;
-    size_t support_y = 0;
-    for (double c : marginal_y) {
-      if (c <= 0.0) continue;
-      ++support_y;
-      double p = c * inv_total;
-      h_y -= p * std::log2(p);
+  } else {
+    // Restrict both terms to rows observed in *both* variables so the
+    // difference is taken over one consistent sample.
+    CodedVariable xy = CombinePair(x, y);
+    CodedVariable y_joint = y;
+    for (size_t i = 0; i < y_joint.codes.size(); ++i) {
+      if (xy.codes[i] < 0) y_joint.codes[i] = -1;
     }
-    if (options.miller_madow) {
-      const double mm = 1.0 / (2.0 * total * std::log(2.0));
-      if (support_xy > 1) h_xy += (support_xy - 1) * mm;
-      if (support_y > 1) h_y += (support_y - 1) * mm;
-    }
-    return h_xy - h_y;
+    r = Entropy(xy, weights, options) - Entropy(y_joint, weights, options);
   }
-
-  // Restrict both terms to rows observed in *both* variables so the
-  // difference is taken over one consistent sample.
-  CodedVariable xy = CombinePair(x, y);
-  CodedVariable y_joint = y;
-  for (size_t i = 0; i < y_joint.codes.size(); ++i) {
-    if (xy.codes[i] < 0) y_joint.codes[i] = -1;
-  }
-  return Entropy(xy, weights, options) - Entropy(y_joint, weights, options);
+  if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
+  return r;
 }
 
 }  // namespace mesa

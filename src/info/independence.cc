@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "info/info_cache.h"
 #include "stats/distributions.h"
 
 namespace mesa {
@@ -41,6 +42,25 @@ IndependenceResult ConditionalIndependenceTest(
     result.p_value = ChiSquaredSf(g, df);
     result.independent = result.p_value >= options.alpha;
     return result;
+  }
+
+  // The permutation p-value is a pure function of (x, y, z) content and
+  // (seed, num_permutations) — every shuffle's Rng derives from them —
+  // so a repeated test (MCIMR's responsibility stop re-testing the same
+  // selected set across ablation variants, say) returns the memoized
+  // value instead of re-running num_permutations CMI evaluations.
+  uint64_t pkey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(),
+                             z.fingerprint()};
+    pkey = info_cache::CiPValueKey(fps, options.seed,
+                                   options.num_permutations);
+    double memo_p = 0.0;
+    if (info_cache::LookupScalar(pkey, &memo_p)) {
+      result.p_value = memo_p;
+      result.independent = memo_p >= options.alpha;
+      return result;
+    }
   }
 
   // Group row indices by stratum of Z (only rows observed in all three).
@@ -78,6 +98,9 @@ IndependenceResult ConditionalIndependenceTest(
         thread_local CodedVariable xp;
         xp.codes = x.codes;
         xp.cardinality = x.cardinality;
+        // In-place mutation of a reused object: forget the memoized
+        // content fingerprint in case anything downstream reads it.
+        xp.InvalidateFingerprint();
         Rng rng(MixSeed(options.seed, perm));
         for (const std::vector<size_t>* rows : stratum_rows) {
           for (size_t i = rows->size(); i > 1; --i) {
@@ -85,6 +108,10 @@ IndependenceResult ConditionalIndependenceTest(
             std::swap(xp.codes[(*rows)[i - 1]], xp.codes[(*rows)[j]]);
           }
         }
+        // Each shuffle is content that will never be evaluated again:
+        // run it on the exact cache-off code path (no fingerprint hash,
+        // no LRU pollution).
+        info_cache::EphemeralScope ephemeral;
         double cmi = ConditionalMutualInformation(xp, y, z);
         return cmi >= observed_cmi ? 1 : 0;
       },
@@ -92,6 +119,9 @@ IndependenceResult ConditionalIndependenceTest(
   result.p_value = static_cast<double>(1 + at_least) /
                    static_cast<double>(1 + options.num_permutations);
   result.independent = result.p_value >= options.alpha;
+  if (pkey != 0 && info_cache::Enabled()) {
+    info_cache::InsertScalar(pkey, result.p_value);
+  }
   return result;
 }
 

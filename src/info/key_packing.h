@@ -1,0 +1,43 @@
+#ifndef MESA_INFO_KEY_PACKING_H_
+#define MESA_INFO_KEY_PACKING_H_
+
+/// Internal helpers shared by the information-theoretic estimators
+/// (entropy.cc, mutual_information.cc, info_cache.cc): bit-width sizing
+/// and packed-key composition for joint count cubes. Not part of the
+/// public API — the layouts here are an implementation detail of the CMI
+/// kernel and may change.
+
+#include <cstdint>
+
+namespace mesa {
+namespace info_internal {
+
+/// Bits needed to store codes in [0, cardinality). Always >= 1, so a
+/// constant (cardinality 1) variable still occupies one key bit and the
+/// packed layouts below stay shift-safe.
+inline int BitsFor(int32_t cardinality) {
+  int bits = 1;
+  while ((int64_t{1} << bits) < cardinality) ++bits;
+  return bits;
+}
+
+/// Packs per-axis codes (kx, ky, kz) into one key in x-major layout:
+/// x occupies the high bits, z the low `bz` bits. This is the layout of
+/// both the dense count cube and the packed hash cube.
+inline uint64_t PackKey3(uint64_t kx, uint64_t ky, uint64_t kz, int by,
+                         int bz) {
+  return (kx << (by + bz)) | (ky << bz) | kz;
+}
+
+/// Extracts the per-axis codes out of a PackKey3 key.
+inline void UnpackKey3(uint64_t key, int by, int bz, uint64_t* kx,
+                       uint64_t* ky, uint64_t* kz) {
+  *kz = key & ((uint64_t{1} << bz) - 1);
+  *ky = (key >> bz) & ((uint64_t{1} << by) - 1);
+  *kx = key >> (by + bz);
+}
+
+}  // namespace info_internal
+}  // namespace mesa
+
+#endif  // MESA_INFO_KEY_PACKING_H_

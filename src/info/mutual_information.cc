@@ -2,21 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "info/info_cache.h"
+#include "info/key_packing.h"
 
 namespace mesa {
 
 namespace {
 
-// Bits needed to store codes in [0, cardinality).
-int BitsFor(int32_t cardinality) {
-  int bits = 1;
-  while ((int64_t{1} << bits) < cardinality) ++bits;
-  return bits;
-}
+using info_cache::CubeEntry;
+using info_cache::JointCube;
+using info_internal::BitsFor;
+using info_internal::PackKey3;
+using info_internal::UnpackKey3;
+
+// Scalar-memo tags: which estimator family a memoized double belongs to.
+// MI through the dense path memoizes under the CMI tag (it *is* a CMI
+// with a constant conditioning axis), so the same expression reached via
+// either entry point shares one memo slot.
+constexpr uint64_t kTagCmi = 0x434D49;  // "CMI"
+constexpr uint64_t kTagMi = 0x4D49;     // "MI"
 
 double EntropyOfMap(const std::unordered_map<uint64_t, double>& counts,
                     double total, const EntropyOptions& options) {
@@ -35,17 +46,42 @@ double EntropyOfMap(const std::unordered_map<uint64_t, double>& counts,
   return h;
 }
 
-// Dense-array variant of PackedCmi for small key spaces: counting into a
-// flat vector avoids all hashing, which makes the estimator memory-bound
-// instead of hash-bound (roughly 5x on the benchmark datasets, where the
-// joint key space is a few thousand cells).
-double DenseCmi(const CodedVariable& x, const CodedVariable& y,
-                const CodedVariable& z, const std::vector<double>* weights,
-                const EntropyOptions& options, int by, int bz) {
-  const size_t cells_xyz = size_t{1} << (BitsFor(std::max<int32_t>(
-                               1, x.cardinality)) +
-                                         by + bz);
-  std::vector<double> xyz(cells_xyz, 0.0);
+// Per-worker scratch for the dense kernel. The buffers hold the joint
+// count cube and its three marginal projections; they grow to the
+// largest key space seen by this thread and are *restored to all-zero*
+// after every call by walking the touched cells (O(support)) instead of
+// re-zeroing the whole buffer (O(cells), up to 8 MB per call at the
+// 20-bit dense limit). The all-zero invariant between calls is what the
+// counting loops rely on.
+struct DenseArena {
+  std::vector<double> xyz;
+  std::vector<double> xz;
+  std::vector<double> yz;
+  std::vector<double> z;
+};
+
+DenseArena& Arena() {
+  thread_local DenseArena arena;
+  return arena;
+}
+
+void EnsureZeroed(std::vector<double>* buf, size_t size) {
+  if (buf->size() < size) buf->resize(size, 0.0);
+}
+
+// Counts the joint (x, y, z) cube into the arena and extracts the
+// nonzero cells, ascending by packed key — the exact order the original
+// dense kernel visited them — zeroing each extracted cell so the arena
+// invariant holds on return. Row handling (skip any-missing rows, skip
+// non-positive weights) is unchanged from the pre-cache kernel.
+void BuildDenseEntries(const CodedVariable& x, const CodedVariable& y,
+                       const CodedVariable& z,
+                       const std::vector<double>* weights, int bx, int by,
+                       int bz, std::vector<CubeEntry>* entries,
+                       double* total_out) {
+  const size_t cells = size_t{1} << (bx + by + bz);
+  std::vector<double>& xyz = Arena().xyz;
+  EnsureZeroed(&xyz, cells);
   double total = 0.0;
   const size_t n = x.codes.size();
   if (weights == nullptr) {
@@ -69,45 +105,76 @@ double DenseCmi(const CodedVariable& x, const CodedVariable& y,
       total += w;
     }
   }
-  if (total <= 0.0) return 0.0;
+  entries->clear();
+  for (size_t key = 0; key < cells; ++key) {
+    double c = xyz[key];
+    if (c <= 0.0) continue;
+    entries->push_back(CubeEntry{key, c});
+    xyz[key] = 0.0;
+  }
+  *total_out = total;
+}
 
-  const size_t cells_xz =
-      size_t{1} << (BitsFor(std::max<int32_t>(1, x.cardinality)) + bz);
-  std::vector<double> xz(cells_xz, 0.0);
-  std::vector<double> yz(size_t{1} << (by + bz), 0.0);
-  std::vector<double> zonly(size_t{1} << bz, 0.0);
+// The dense CMI computation from an already-counted cube. Entries must
+// be sorted ascending by key in the *caller's* (x, y, z) layout; since
+// that is the order the old kernel scanned its flat array, every
+// floating-point sum here happens in the same order as a pre-cache
+// evaluation — the result is bit-identical whether the entries came from
+// a fresh row scan or from a repacked cached cube.
+double DenseCmiFromEntries(const std::vector<CubeEntry>& entries,
+                           double total, const EntropyOptions& options,
+                           int bx, int by, int bz) {
+  if (total <= 0.0) return 0.0;
+  DenseArena& arena = Arena();
+  const size_t cells_xz = size_t{1} << (bx + bz);
+  const size_t cells_yz = size_t{1} << (by + bz);
+  const size_t cells_z = size_t{1} << bz;
+  EnsureZeroed(&arena.xz, cells_xz);
+  EnsureZeroed(&arena.yz, cells_yz);
+  EnsureZeroed(&arena.z, cells_z);
+
   double h_xyz = 0.0;
   size_t support_xyz = 0;
   const double inv_total = 1.0 / total;
-  for (size_t key = 0; key < cells_xyz; ++key) {
-    double c = xyz[key];
+  for (const CubeEntry& e : entries) {
+    double c = e.count;
     if (c <= 0.0) continue;
     ++support_xyz;
     double p = c * inv_total;
     h_xyz -= p * std::log2(p);
-    size_t kx = key >> (by + bz);
-    size_t ky = (key >> bz) & ((size_t{1} << by) - 1);
-    size_t kz = key & ((size_t{1} << bz) - 1);
-    xz[(kx << bz) | kz] += c;
-    yz[(ky << bz) | kz] += c;
-    zonly[kz] += c;
+    uint64_t kx, ky, kz;
+    UnpackKey3(e.key, by, bz, &kx, &ky, &kz);
+    arena.xz[(kx << bz) | kz] += c;
+    arena.yz[(ky << bz) | kz] += c;
+    arena.z[kz] += c;
   }
-  auto entropy_of = [&](const std::vector<double>& counts, size_t* support) {
+  auto entropy_of = [&](const std::vector<double>& counts, size_t limit,
+                        size_t* support) {
     double h = 0.0;
     size_t s = 0;
-    for (double c : counts) {
+    for (size_t i = 0; i < limit; ++i) {
+      double c = counts[i];
       if (c <= 0.0) continue;
       ++s;
       double p = c * inv_total;
       h -= p * std::log2(p);
     }
-    if (support != nullptr) *support = s;
+    *support = s;
     return h;
   };
   size_t s_xz = 0, s_yz = 0, s_z = 0;
-  double h_xz = entropy_of(xz, &s_xz);
-  double h_yz = entropy_of(yz, &s_yz);
-  double h_z = entropy_of(zonly, &s_z);
+  double h_xz = entropy_of(arena.xz, cells_xz, &s_xz);
+  double h_yz = entropy_of(arena.yz, cells_yz, &s_yz);
+  double h_z = entropy_of(arena.z, cells_z, &s_z);
+  // Restore the arena's all-zero invariant by touched cell (repeated
+  // zeroing of a shared projection cell is harmless).
+  for (const CubeEntry& e : entries) {
+    uint64_t kx, ky, kz;
+    UnpackKey3(e.key, by, bz, &kx, &ky, &kz);
+    arena.xz[(kx << bz) | kz] = 0.0;
+    arena.yz[(ky << bz) | kz] = 0.0;
+    arena.z[kz] = 0.0;
+  }
   if (options.miller_madow) {
     const double mm = 1.0 / (2.0 * total * std::log(2.0));
     if (support_xyz > 1) h_xyz += (support_xyz - 1) * mm;
@@ -118,10 +185,98 @@ double DenseCmi(const CodedVariable& x, const CodedVariable& y,
   return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
 }
 
+// Matches our (x, y, z) axis identities against a cached cube's axes.
+// On success perm[j] is the cube axis holding our j-th variable. Bits
+// are compared as a collision guard on top of the fingerprints.
+bool MatchAxes(const JointCube& cube, const uint64_t fps[3],
+               const int bits[3], int perm[3]) {
+  bool used[3] = {false, false, false};
+  for (int j = 0; j < 3; ++j) {
+    perm[j] = -1;
+    for (int a = 0; a < 3; ++a) {
+      if (used[a]) continue;
+      if (cube.axes[a].fingerprint == fps[j] && cube.axes[a].bits == bits[j]) {
+        used[a] = true;
+        perm[j] = a;
+        break;
+      }
+    }
+    if (perm[j] < 0) return false;
+  }
+  return true;
+}
+
+// Translates a cached cube (counted in some other call's axis order)
+// into the requesting call's layout and sorts ascending — producing
+// exactly the entry sequence BuildDenseEntries would have emitted, since
+// cell counts are layout-independent sums over the same rows.
+void RepackEntries(const JointCube& cube, const int perm[3], int by, int bz,
+                   std::vector<CubeEntry>* out) {
+  const int cube_by = cube.axes[1].bits;
+  const int cube_bz = cube.axes[2].bits;
+  out->resize(cube.entries.size());
+  for (size_t i = 0; i < cube.entries.size(); ++i) {
+    uint64_t k[3];
+    UnpackKey3(cube.entries[i].key, cube_by, cube_bz, &k[0], &k[1], &k[2]);
+    (*out)[i].key = PackKey3(k[perm[0]], k[perm[1]], k[perm[2]], by, bz);
+    (*out)[i].count = cube.entries[i].count;
+  }
+  std::sort(out->begin(), out->end(),
+            [](const CubeEntry& a, const CubeEntry& b) {
+              return a.key < b.key;
+            });
+}
+
+// Dense CMI with both cache layers. Cache off reduces to exactly the
+// pre-cache kernel (no fingerprinting, no lookups).
+double CachedDenseCmi(const CodedVariable& x, const CodedVariable& y,
+                      const CodedVariable& z,
+                      const std::vector<double>* weights,
+                      const EntropyOptions& options, int bx, int by, int bz) {
+  thread_local std::vector<CubeEntry> entries;
+  double total = 0.0;
+  if (!info_cache::Enabled()) {
+    BuildDenseEntries(x, y, z, weights, bx, by, bz, &entries, &total);
+    return DenseCmiFromEntries(entries, total, options, bx, by, bz);
+  }
+  const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(), z.fingerprint()};
+  const uint64_t wfp = info_cache::WeightsFingerprint(weights);
+  const uint64_t skey =
+      info_cache::ScalarKey(kTagCmi, fps, 3, wfp, options.miller_madow);
+  double memo = 0.0;
+  if (info_cache::LookupScalar(skey, &memo)) return memo;
+
+  const int bits[3] = {bx, by, bz};
+  const uint64_t ckey = info_cache::CubeKey(fps[0], fps[1], fps[2], wfp);
+  std::shared_ptr<const JointCube> cube = info_cache::LookupCube(ckey);
+  int perm[3];
+  if (cube != nullptr && MatchAxes(*cube, fps, bits, perm)) {
+    RepackEntries(*cube, perm, by, bz, &entries);
+    total = cube->total;
+  } else {
+    BuildDenseEntries(x, y, z, weights, bx, by, bz, &entries, &total);
+    if (cube == nullptr) {
+      auto fresh = std::make_shared<JointCube>();
+      fresh->axes[0] = {fps[0], bx};
+      fresh->axes[1] = {fps[1], by};
+      fresh->axes[2] = {fps[2], bz};
+      fresh->entries = entries;
+      fresh->total = total;
+      info_cache::InsertCube(ckey, std::move(fresh));
+    }
+  }
+  double r = DenseCmiFromEntries(entries, total, options, bx, by, bz);
+  info_cache::InsertScalar(skey, r);
+  return r;
+}
+
 // Single-pass CMI over packed (x, y, z) keys. Requires the key widths to
 // fit 64 bits; the caller falls back to the generic path otherwise. Rows
 // missing any variable are skipped, so every entropy term shares one
-// support, and optional row weights give the IPW estimator.
+// support, and optional row weights give the IPW estimator. This path
+// keeps its original hash-map arithmetic (the scalar memo in the caller
+// dedupes repeats); only the dense path shares cubes across calls,
+// because only there is the summation order reproducible from a cube.
 double PackedCmi(const CodedVariable& x, const CodedVariable& y,
                  const CodedVariable& z, const std::vector<double>* weights,
                  const EntropyOptions& options, int by, int bz) {
@@ -134,10 +289,9 @@ double PackedCmi(const CodedVariable& x, const CodedVariable& y,
     if (cx < 0 || cy < 0 || cz < 0) continue;
     double w = weights != nullptr ? (*weights)[i] : 1.0;
     if (w <= 0.0) continue;
-    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(cx))
-                    << (by + bz)) |
-                   (static_cast<uint64_t>(static_cast<uint32_t>(cy)) << bz) |
-                   static_cast<uint32_t>(cz);
+    uint64_t key = PackKey3(static_cast<uint32_t>(cx),
+                            static_cast<uint32_t>(cy),
+                            static_cast<uint32_t>(cz), by, bz);
     xyz[key] += w;
     total += w;
   }
@@ -147,9 +301,8 @@ double PackedCmi(const CodedVariable& x, const CodedVariable& y,
   xz.reserve(xyz.size());
   yz.reserve(xyz.size());
   for (const auto& [key, c] : xyz) {
-    uint64_t kx = key >> (by + bz);
-    uint64_t ky = (key >> bz) & ((uint64_t{1} << by) - 1);
-    uint64_t kz = key & ((uint64_t{1} << bz) - 1);
+    uint64_t kx, ky, kz;
+    UnpackKey3(key, by, bz, &kx, &ky, &kz);
     xz[(kx << bz) | kz] += c;
     yz[(ky << bz) | kz] += c;
     zonly[kz] += c;
@@ -171,6 +324,19 @@ CodedVariable MaskTo(const CodedVariable& v, const CodedVariable& support) {
   return out;
 }
 
+// The constant conditioning axis MI lends to the dense CMI kernel.
+// Cached per thread so its fingerprint (an O(n) hash) is computed once
+// per row count rather than per call.
+const CodedVariable& TrivialFor(size_t n) {
+  thread_local CodedVariable trivial;
+  if (trivial.codes.size() != n || trivial.cardinality != 1) {
+    trivial.codes.assign(n, 0);
+    trivial.cardinality = 1;
+    trivial.InvalidateFingerprint();
+  }
+  return trivial;
+}
+
 }  // namespace
 
 double MutualInformation(const CodedVariable& x, const CodedVariable& y,
@@ -183,16 +349,25 @@ double MutualInformation(const CodedVariable& x, const CodedVariable& y,
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
   if (bx + by + 1 <= 20) {
-    CodedVariable trivial;
-    trivial.codes.assign(x.codes.size(), 0);
-    trivial.cardinality = 1;
-    return DenseCmi(x, y, trivial, weights, options, by, 1);
+    return CachedDenseCmi(x, y, TrivialFor(x.codes.size()), weights, options,
+                          bx, by, 1);
+  }
+  uint64_t skey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[2] = {x.fingerprint(), y.fingerprint()};
+    skey = info_cache::ScalarKey(kTagMi, fps, 2,
+                                 info_cache::WeightsFingerprint(weights),
+                                 options.miller_madow);
+    double memo = 0.0;
+    if (info_cache::LookupScalar(skey, &memo)) return memo;
   }
   CodedVariable xy = CombinePair(x, y);
   double h_x = Entropy(MaskTo(x, xy), weights, options);
   double h_y = Entropy(MaskTo(y, xy), weights, options);
   double h_xy = Entropy(xy, weights, options);
-  return std::max(0.0, h_x + h_y - h_xy);
+  double r = std::max(0.0, h_x + h_y - h_xy);
+  if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
+  return r;
 }
 
 double ConditionalMutualInformation(const CodedVariable& x,
@@ -203,25 +378,39 @@ double ConditionalMutualInformation(const CodedVariable& x,
   MESA_CHECK(x.size() == y.size() && y.size() == z.size());
   MESA_COUNT("info/cmi_evals");
   MESA_SPAN("cmi");
-  // Fast path: one hash pass over packed keys when the widths fit.
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
   int bz = BitsFor(std::max<int32_t>(1, z.cardinality));
   if (bx + by + bz <= 20) {
-    // Small key space: dense counting beats hashing.
-    return DenseCmi(x, y, z, weights, options, by, bz);
+    // Small key space: dense counting beats hashing, and the counted
+    // cube is shareable across partitions of the same triple.
+    return CachedDenseCmi(x, y, z, weights, options, bx, by, bz);
   }
+  uint64_t skey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(),
+                             z.fingerprint()};
+    skey = info_cache::ScalarKey(kTagCmi, fps, 3,
+                                 info_cache::WeightsFingerprint(weights),
+                                 options.miller_madow);
+    double memo = 0.0;
+    if (info_cache::LookupScalar(skey, &memo)) return memo;
+  }
+  double r;
   if (bx + by + bz <= 64) {
-    return PackedCmi(x, y, z, weights, options, by, bz);
+    r = PackedCmi(x, y, z, weights, options, by, bz);
+  } else {
+    CodedVariable xz = CombinePair(x, z);
+    CodedVariable yz = CombinePair(y, z);
+    CodedVariable xyz = CombinePair(xz, y);
+    double h_xz = Entropy(MaskTo(xz, xyz), weights, options);
+    double h_yz = Entropy(MaskTo(yz, xyz), weights, options);
+    double h_xyz = Entropy(xyz, weights, options);
+    double h_z = Entropy(MaskTo(z, xyz), weights, options);
+    r = std::max(0.0, h_xz + h_yz - h_xyz - h_z);
   }
-  CodedVariable xz = CombinePair(x, z);
-  CodedVariable yz = CombinePair(y, z);
-  CodedVariable xyz = CombinePair(xz, y);
-  double h_xz = Entropy(MaskTo(xz, xyz), weights, options);
-  double h_yz = Entropy(MaskTo(yz, xyz), weights, options);
-  double h_xyz = Entropy(xyz, weights, options);
-  double h_z = Entropy(MaskTo(z, xyz), weights, options);
-  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
+  if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
+  return r;
 }
 
 double InteractionInformation(const CodedVariable& x, const CodedVariable& y,

@@ -25,6 +25,7 @@
 #include "core/mesa.h"
 #include "core/report_format.h"
 #include "datagen/registry.h"
+#include "info/info_cache.h"
 #include "kg/serialization.h"
 #include "table/csv.h"
 
@@ -45,7 +46,13 @@ int Usage() {
       [--baseline topk]                    also print the Top-K baseline
       [--trace]                            show MCIMR's selection steps
       [--metrics[=FILE]]                   dump the metrics/tracing JSON
-                                           snapshot (stdout, or to FILE)
+                                           snapshot (stdout, or to FILE);
+                                           includes the info_cache/* hit
+                                           and miss counters
+      [--info-cache on|off]                sufficient-statistics cache for
+                                           the entropy/MI/CMI kernels
+                                           (default: $MESA_INFO_CACHE, or
+                                           on; see docs/performance.md)
       [--fault-plan PLAN]                  inject KG endpoint faults, e.g.
                                            "seed=7;timeout=0.2;latency=1:5"
                                            (default: $MESA_FAULT_PLAN;
@@ -184,6 +191,16 @@ int RunExplain(const Flags& flags) {
     }
     if (extract.empty()) {
       std::fprintf(stderr, "--kg needs --extract Col1,Col2\n");
+      return 1;
+    }
+  }
+
+  if (flags.Has("info-cache")) {
+    std::string v = flags.Get("info-cache");
+    if (v == "on" || v == "off") {
+      info_cache::SetEnabled(v == "on");
+    } else {
+      std::fprintf(stderr, "--info-cache must be 'on' or 'off'\n");
       return 1;
     }
   }
