@@ -26,6 +26,9 @@ Mesa::Mesa(Table base_table, const TripleStore* kg,
   if (options_.prepare.num_threads == 0) {
     options_.prepare.num_threads = options_.num_threads;
   }
+  if (options_.extraction.num_threads == 0) {
+    options_.extraction.num_threads = options_.num_threads;
+  }
   if (kg != nullptr) WireEndpoint(std::make_shared<LocalEndpoint>(kg));
 }
 
@@ -37,6 +40,9 @@ Mesa::Mesa(Table base_table, std::shared_ptr<KgEndpoint> endpoint,
       options_(std::move(options)) {
   if (options_.prepare.num_threads == 0) {
     options_.prepare.num_threads = options_.num_threads;
+  }
+  if (options_.extraction.num_threads == 0) {
+    options_.extraction.num_threads = options_.num_threads;
   }
   if (endpoint != nullptr) WireEndpoint(std::move(endpoint));
 }

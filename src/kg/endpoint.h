@@ -59,6 +59,15 @@ class KgEndpoint {
   /// Binds the caller's virtual clock so the endpoint can charge injected
   /// latency against deadlines. Default: no clock needed.
   virtual void BindClock(VirtualClock* clock) { (void)clock; }
+
+  /// A fresh endpoint equivalent to this one, for a parallel extraction
+  /// shard: same answers and same per-argument fault behaviour, but no
+  /// shared mutable state (clock binding, attempt bookkeeping) with the
+  /// original. nullptr means "not cloneable" — the extractor then falls
+  /// back to its serial shared-client loop.
+  virtual std::shared_ptr<KgEndpoint> CloneForShard() const {
+    return nullptr;
+  }
 };
 
 /// The perfectly reliable endpoint: answers straight out of a TripleStore.
@@ -73,6 +82,9 @@ class LocalEndpoint : public KgEndpoint {
   Result<std::vector<KgProperty>> Properties(EntityId id) override;
   Result<EntityInfo> Describe(EntityId id) override;
   const TripleStore* local_store() const override { return store_; }
+  std::shared_ptr<KgEndpoint> CloneForShard() const override {
+    return std::make_shared<LocalEndpoint>(store_);
+  }
 
  private:
   const TripleStore* store_;

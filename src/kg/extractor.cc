@@ -5,8 +5,10 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "query/join.h"
 
 namespace mesa {
@@ -172,6 +174,47 @@ void CollapseIntoRow(const std::string& key,
   rows->emplace_back(key, std::move(collapsed));
 }
 
+// Per-value scan output. The scans below (serial or worker-sharded) fill
+// one slot per distinct key value; AssembleSlots then replays the slots in
+// sorted key order, so rows, attribute names, and stats come out exactly
+// as the serial reference loop produces them regardless of how the scan
+// was scheduled across threads.
+struct ValueSlot {
+  enum class Outcome { kNotFound, kAmbiguous, kLinked, kFailed };
+  Outcome outcome = Outcome::kNotFound;
+  bool any_failure = false;  ///< linked, but a property fetch failed.
+  std::map<std::string, std::vector<Value>> props;
+  ResilientKgClient::Counters counters;  ///< client shard path only.
+};
+
+void AssembleSlots(const std::vector<std::string>& keys,
+                   std::vector<ValueSlot>& slots, AggregateFunction agg,
+                   ExtractionStats* stats, ExtractedRows* rows,
+                   std::set<std::string>* attr_names) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ValueSlot& slot = slots[i];
+    switch (slot.outcome) {
+      case ValueSlot::Outcome::kFailed:
+        ++stats->values_failed;
+        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        break;
+      case ValueSlot::Outcome::kAmbiguous:
+        ++stats->values_ambiguous;
+        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        break;
+      case ValueSlot::Outcome::kNotFound:
+        ++stats->values_not_found;
+        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        break;
+      case ValueSlot::Outcome::kLinked:
+        ++stats->values_linked;
+        if (slot.any_failure) ++stats->values_failed;
+        CollapseIntoRow(keys[i], slot.props, agg, rows, attr_names);
+        break;
+    }
+  }
+}
+
 // Shared augmentation driver: extracts per column via `extract`, renames
 // collisions, and left-joins the attributes onto the base table.
 Result<AugmentResult> AugmentImpl(
@@ -237,33 +280,40 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
                                 const TripleStore& store,
                                 const ExtractionOptions& options,
                                 ExtractionStats* stats) {
-  MESA_SPAN("kg_extract");
+  MESA_SPAN("kg/extract");
   MESA_ASSIGN_OR_RETURN(std::set<std::string> distinct,
                         DistinctKeys(table, column));
+  const std::vector<std::string> keys(distinct.begin(), distinct.end());
 
   ExtractionStats local_stats;
-  local_stats.values_total = distinct.size();
+  local_stats.values_total = keys.size();
 
+  // Linking and flattening are independent per key value: the linker is
+  // const over a const store, so one instance serves every worker.
   EntityLinker linker(&store, options.linker);
+  std::vector<ValueSlot> slots(keys.size());
+  auto process = [&](size_t i) {
+    ValueSlot& slot = slots[i];
+    LinkResult link = linker.Link(keys[i]);
+    if (!link.linked()) {
+      slot.outcome = link.outcome == LinkOutcome::kAmbiguous
+                         ? ValueSlot::Outcome::kAmbiguous
+                         : ValueSlot::Outcome::kNotFound;
+      return;
+    }
+    slot.outcome = ValueSlot::Outcome::kLinked;
+    GatherProperties(store, *link.entity, "", options.hops, &slot.props);
+  };
+  if (DataPlaneParallel()) {
+    ParallelFor(0, keys.size(), process, options.num_threads);
+  } else {
+    for (size_t i = 0; i < keys.size(); ++i) process(i);
+  }
 
   ExtractedRows rows;
   std::set<std::string> attr_names;
-  for (const std::string& key : distinct) {
-    LinkResult link = linker.Link(key);
-    if (!link.linked()) {
-      if (link.outcome == LinkOutcome::kAmbiguous) {
-        ++local_stats.values_ambiguous;
-      } else {
-        ++local_stats.values_not_found;
-      }
-      rows.emplace_back(key, std::map<std::string, Value>{});
-      continue;
-    }
-    ++local_stats.values_linked;
-    std::map<std::string, std::vector<Value>> props;
-    GatherProperties(store, *link.entity, "", options.hops, &props);
-    CollapseIntoRow(key, props, options.one_to_many_agg, &rows, &attr_names);
-  }
+  AssembleSlots(keys, slots, options.one_to_many_agg, &local_stats, &rows,
+                &attr_names);
   local_stats.attributes_extracted = attr_names.size();
   if (stats != nullptr) *stats = local_stats;
   return AssembleUniversalRelation(column, rows, attr_names);
@@ -273,45 +323,74 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
                                 ResilientKgClient* client,
                                 const ExtractionOptions& options,
                                 ExtractionStats* stats) {
-  MESA_SPAN("kg_extract");
+  MESA_SPAN("kg/extract");
   MESA_ASSIGN_OR_RETURN(std::set<std::string> distinct,
                         DistinctKeys(table, column));
+  const std::vector<std::string> keys(distinct.begin(), distinct.end());
 
   ExtractionStats local_stats;
-  local_stats.values_total = distinct.size();
-  const ResilientKgClient::Counters before = client->counters();
+  local_stats.values_total = keys.size();
 
-  ExtractedRows rows;
-  std::set<std::string> attr_names;
-  for (const std::string& key : distinct) {
-    Result<LinkResult> link = client->Resolve(key, options.linker);
+  // Fills one slot through `c`, which may be the shared client (legacy
+  // serial path) or a per-value shard.
+  std::vector<ValueSlot> slots(keys.size());
+  auto process = [&](ResilientKgClient* c, size_t i) {
+    ValueSlot& slot = slots[i];
+    Result<LinkResult> link = c->Resolve(keys[i], options.linker);
     if (!link.ok()) {
       // The lookup itself died (deadline, permanent endpoint fault).
       // Degrade: keep the key with no attributes, count the failure.
-      ++local_stats.values_failed;
-      rows.emplace_back(key, std::map<std::string, Value>{});
-      continue;
+      slot.outcome = ValueSlot::Outcome::kFailed;
+      return;
     }
     if (!link->linked()) {
-      if (link->outcome == LinkOutcome::kAmbiguous) {
-        ++local_stats.values_ambiguous;
-      } else {
-        ++local_stats.values_not_found;
-      }
-      rows.emplace_back(key, std::map<std::string, Value>{});
-      continue;
+      slot.outcome = link->outcome == LinkOutcome::kAmbiguous
+                         ? ValueSlot::Outcome::kAmbiguous
+                         : ValueSlot::Outcome::kNotFound;
+      return;
     }
-    ++local_stats.values_linked;
-    std::map<std::string, std::vector<Value>> props;
-    bool any_failure = false;
-    GatherPropertiesClient(client, *link->entity, "", options.hops, &props,
-                           &any_failure);
-    if (any_failure) ++local_stats.values_failed;
-    CollapseIntoRow(key, props, options.one_to_many_agg, &rows, &attr_names);
+    slot.outcome = ValueSlot::Outcome::kLinked;
+    GatherPropertiesClient(c, *link->entity, "", options.hops, &slot.props,
+                           &slot.any_failure);
+  };
+
+  if (client->SupportsSharding() && DataPlaneParallel()) {
+    // Each distinct value gets its own shard client (fresh clock, breaker,
+    // cache over a cloned endpoint), so its retry/jitter/fault sequence is
+    // a pure function of the value — never of which thread ran it or what
+    // other values did first. The shard path is taken at *every* thread
+    // count (including 1) so results cannot depend on the pool size even
+    // under fault plans.
+    ParallelFor(
+        0, keys.size(),
+        [&](size_t i) {
+          std::unique_ptr<ResilientKgClient> shard = client->CloneForShard();
+          process(shard.get(), i);
+          slots[i].counters = shard->counters();
+        },
+        options.num_threads);
+    ResilientKgClient::Counters total;
+    for (const ValueSlot& slot : slots) {
+      total.calls += slot.counters.calls;
+      total.attempts += slot.counters.attempts;
+      total.calls_retried += slot.counters.calls_retried;
+      total.failures += slot.counters.failures;
+      total.cache_hits += slot.counters.cache_hits;
+    }
+    client->AbsorbCounters(total);
+    local_stats.lookups_retried = static_cast<size_t>(total.calls_retried);
+  } else {
+    const ResilientKgClient::Counters before = client->counters();
+    for (size_t i = 0; i < keys.size(); ++i) process(client, i);
+    local_stats.lookups_retried = static_cast<size_t>(
+        client->counters().calls_retried - before.calls_retried);
   }
+
+  ExtractedRows rows;
+  std::set<std::string> attr_names;
+  AssembleSlots(keys, slots, options.one_to_many_agg, &local_stats, &rows,
+                &attr_names);
   local_stats.attributes_extracted = attr_names.size();
-  local_stats.lookups_retried = static_cast<size_t>(
-      client->counters().calls_retried - before.calls_retried);
   if (stats != nullptr) *stats = local_stats;
 
   if (local_stats.Coverage() < options.min_coverage) {

@@ -148,6 +148,12 @@ void FaultInjectingEndpoint::BindClock(VirtualClock* clock) {
   inner_->BindClock(clock);
 }
 
+std::shared_ptr<KgEndpoint> FaultInjectingEndpoint::CloneForShard() const {
+  std::shared_ptr<KgEndpoint> inner = inner_->CloneForShard();
+  if (!inner) return nullptr;
+  return std::make_shared<FaultInjectingEndpoint>(std::move(inner), plan_);
+}
+
 Status FaultInjectingEndpoint::MaybeFault(const char* op, uint64_t arg_hash) {
   calls_.fetch_add(1, std::memory_order_relaxed);
   const FaultRates& rates = plan_.RatesFor(op);

@@ -88,6 +88,13 @@ class FaultInjectingEndpoint : public KgEndpoint {
   }
   void BindClock(VirtualClock* clock) override;
 
+  /// Clones inner endpoint + plan. Fault draws are pure functions of
+  /// (plan seed, op, argument, per-argument attempt number), and the clone
+  /// starts with fresh attempt counts — so a shard replaying a value's
+  /// call sequence from attempt 0 sees exactly the draws the serial path
+  /// would have produced for that value.
+  std::shared_ptr<KgEndpoint> CloneForShard() const override;
+
   struct Counters {
     uint64_t calls = 0;
     uint64_t faults = 0;  ///< attempts answered with an injected fault.

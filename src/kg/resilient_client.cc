@@ -98,6 +98,24 @@ Result<EntityInfo> ResilientKgClient::Describe(EntityId id) {
       MixSeed(kDescribeTag, id), [&] { return endpoint_->Describe(id); });
 }
 
+bool ResilientKgClient::SupportsSharding() const {
+  return endpoint_->CloneForShard() != nullptr;
+}
+
+std::unique_ptr<ResilientKgClient> ResilientKgClient::CloneForShard() const {
+  std::shared_ptr<KgEndpoint> endpoint = endpoint_->CloneForShard();
+  if (!endpoint) return nullptr;
+  return std::make_unique<ResilientKgClient>(std::move(endpoint), options_);
+}
+
+void ResilientKgClient::AbsorbCounters(const Counters& c) {
+  calls_.fetch_add(c.calls, std::memory_order_relaxed);
+  attempts_.fetch_add(c.attempts, std::memory_order_relaxed);
+  calls_retried_.fetch_add(c.calls_retried, std::memory_order_relaxed);
+  failures_.fetch_add(c.failures, std::memory_order_relaxed);
+  cache_hits_.fetch_add(c.cache_hits, std::memory_order_relaxed);
+}
+
 ResilientKgClient::Counters ResilientKgClient::counters() const {
   Counters c;
   c.calls = calls_.load(std::memory_order_relaxed);

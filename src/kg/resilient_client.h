@@ -69,6 +69,21 @@ class ResilientKgClient {
   };
   Counters counters() const;
 
+  /// True when the endpoint can be cloned for parallel per-value
+  /// extraction shards (KgEndpoint::CloneForShard).
+  bool SupportsSharding() const;
+
+  /// A fresh client over a cloned endpoint: same options, own virtual
+  /// clock / breaker / cache, zeroed counters. The extractor gives each
+  /// distinct entity value its own shard client so the value's retry and
+  /// fault sequence is a pure function of the value — identical at any
+  /// thread count — then folds the shard counters back via
+  /// AbsorbCounters. nullptr when the endpoint is not cloneable.
+  std::unique_ptr<ResilientKgClient> CloneForShard() const;
+
+  /// Adds `c` into this client's cumulative counters (shard absorption).
+  void AbsorbCounters(const Counters& c);
+
   CircuitBreaker& breaker() { return breaker_; }
   VirtualClock& clock() { return clock_; }
   const KgClientOptions& options() const { return options_; }

@@ -1,11 +1,41 @@
 #include "query/group_by.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 
 namespace mesa {
+
+namespace {
+
+// Morsel-driven partitioned aggregation (Leis et al.): rows are scanned in
+// fixed-size morsels, surviving rows are radix-partitioned on the hash of
+// their group key, and each partition is aggregated independently. The
+// constants are thread-count independent, so the work decomposition — and
+// therefore every floating-point accumulation order — is too.
+constexpr size_t kGroupByMorselRows = 2048;
+constexpr size_t kGroupByPartitions = 64;  // power of two
+// Below this row count the serial reference loop wins outright.
+constexpr size_t kGroupByParallelThreshold = 4096;
+
+// Hash of one row's group-key tuple. Rows whose tuples compare equal hash
+// identically (each tuple position reads one column, so values at a
+// position share a physical type), which is what pins a whole group to one
+// partition.
+uint64_t GroupKeyHash(const std::vector<const Column*>& gcols, size_t r) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const Column* c : gcols) {
+    h = MixSeed(h, static_cast<uint64_t>(ValueHash{}(c->GetValue(r))));
+  }
+  return h;
+}
+
+}  // namespace
 
 Result<Table> GroupByResult::ToTable(const std::string& group_column,
                                      const std::string& agg_column) const {
@@ -40,7 +70,7 @@ Result<GroupByResult> GroupByAggregate(
     const Table& table, const std::vector<std::string>& group_cols,
     const std::string& outcome_col, AggregateFunction agg,
     const Conjunction& context) {
-  MESA_SPAN("group_by");
+  MESA_SPAN("query/group_by");
   MESA_COUNT("query/group_bys");
   if (group_cols.empty()) {
     return Status::InvalidArgument("need at least one grouping column");
@@ -59,28 +89,101 @@ Result<GroupByResult> GroupByAggregate(
   MESA_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
                         context.EvaluateMask(table));
 
-  // std::map keyed by the value tuple gives deterministic (sorted) order.
-  std::map<std::vector<Value>, AggregateAccumulator> accs;
+  const size_t n = table.num_rows();
   size_t input_rows = 0;
-  std::vector<Value> key(gcols.size());
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (!mask[r]) continue;
-    ++input_rows;
-    if (ocol->IsNull(r)) continue;
-    bool null_key = false;
-    for (size_t c = 0; c < gcols.size(); ++c) {
-      if (gcols[c]->IsNull(r)) {
-        null_key = true;
-        break;
+  // Groups keyed by the value tuple: std::map gives deterministic (sorted)
+  // order, and within a group rows are accumulated in ascending row order.
+  // Both paths below preserve exactly that; the parallel one is asserted
+  // bit-identical in tests/query_parallel_test.cc.
+  std::map<std::vector<Value>, AggregateAccumulator> accs;
+
+  if (n < kGroupByParallelThreshold || !DataPlaneParallel()) {
+    std::vector<Value> key(gcols.size());
+    for (size_t r = 0; r < n; ++r) {
+      if (!mask[r]) continue;
+      ++input_rows;
+      if (ocol->IsNull(r)) continue;
+      bool null_key = false;
+      for (size_t c = 0; c < gcols.size(); ++c) {
+        if (gcols[c]->IsNull(r)) {
+          null_key = true;
+          break;
+        }
+        key[c] = gcols[c]->GetValue(r);
       }
-      key[c] = gcols[c]->GetValue(r);
+      if (null_key) continue;
+      auto it = accs.find(key);
+      if (it == accs.end()) {
+        it = accs.emplace(key, AggregateAccumulator(agg)).first;
+      }
+      it->second.Add(ocol->NumericAt(r));
     }
-    if (null_key) continue;
-    auto it = accs.find(key);
-    if (it == accs.end()) {
-      it = accs.emplace(key, AggregateAccumulator(agg)).first;
+  } else {
+    // Phase 1 — morsel scan: apply the context mask and null rules, then
+    // bucket each surviving row by the radix partition of its key hash.
+    // Buckets keep rows in ascending order within a morsel.
+    struct MorselBuckets {
+      size_t input_rows = 0;
+      std::array<std::vector<uint32_t>, kGroupByPartitions> rows;
+    };
+    const size_t num_morsels =
+        (n + kGroupByMorselRows - 1) / kGroupByMorselRows;
+    std::vector<MorselBuckets> morsels(num_morsels);
+    ParallelFor(0, num_morsels, [&](size_t m) {
+      MorselBuckets& mb = morsels[m];
+      const size_t lo = m * kGroupByMorselRows;
+      const size_t hi = std::min(n, lo + kGroupByMorselRows);
+      for (size_t r = lo; r < hi; ++r) {
+        if (!mask[r]) continue;
+        ++mb.input_rows;
+        if (ocol->IsNull(r)) continue;
+        bool null_key = false;
+        for (const Column* c : gcols) {
+          if (c->IsNull(r)) {
+            null_key = true;
+            break;
+          }
+        }
+        if (null_key) continue;
+        const size_t p = GroupKeyHash(gcols, r) & (kGroupByPartitions - 1);
+        mb.rows[p].push_back(static_cast<uint32_t>(r));
+      }
+    });
+
+    // Phase 2 — per-partition aggregation. A group lives entirely in one
+    // partition (its partition is a function of its key), and walking the
+    // morsels in order feeds the partition its rows in global row order —
+    // so each accumulator sees the exact Add sequence of the serial loop.
+    std::array<std::map<std::vector<Value>, AggregateAccumulator>,
+               kGroupByPartitions>
+        parts;
+    ParallelFor(0, kGroupByPartitions, [&](size_t p) {
+      auto& part = parts[p];
+      std::vector<Value> key(gcols.size());
+      for (const MorselBuckets& mb : morsels) {
+        for (uint32_t r : mb.rows[p]) {
+          for (size_t c = 0; c < gcols.size(); ++c) {
+            key[c] = gcols[c]->GetValue(r);
+          }
+          auto it = part.find(key);
+          if (it == part.end()) {
+            it = part.emplace(key, AggregateAccumulator(agg)).first;
+          }
+          it->second.Add(ocol->NumericAt(r));
+        }
+      }
+    });
+
+    // Phase 3 — merge in canonical order: partitions are disjoint by key,
+    // so folding their (already sorted) maps into one map re-creates the
+    // serial map without touching any accumulator.
+    for (auto& part : parts) {
+      for (auto& [k, acc] : part) {
+        accs.emplace(k, std::move(acc));
+      }
+      part.clear();
     }
-    it->second.Add(ocol->NumericAt(r));
+    for (const MorselBuckets& mb : morsels) input_rows += mb.input_rows;
   }
 
   GroupByResult out;

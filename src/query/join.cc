@@ -1,64 +1,195 @@
 #include "query/join.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
 
 namespace mesa {
+
+namespace {
+
+// Morsel size for the parallel build/probe scans; thread-count independent
+// so the decomposition (and with it the output row order) never changes.
+constexpr size_t kJoinMorselRows = 2048;
+// Below this row count the serial loops win outright.
+constexpr size_t kJoinParallelThreshold = 4096;
+
+// Radix partition of a key value. A pure function of the value, so a key
+// lands in the same partition no matter which thread hashes it.
+size_t KeyPartition(const Value& v) {
+  return MixSeed(0x9E3779B97F4A7C15ULL,
+                 static_cast<uint64_t>(ValueHash{}(v))) &
+         63;  // JoinIndex::kPartitions - 1
+}
+
+}  // namespace
+
+Result<JoinIndex> JoinIndex::Build(const Table& right,
+                                   const std::string& right_key) {
+  static_assert(kPartitions == 64, "KeyPartition masks with 63");
+  MESA_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
+
+  JoinIndex index;
+  index.right_ = &right;
+  index.right_key_ = right_key;
+
+  const size_t n = right.num_rows();
+  if (n < kJoinParallelThreshold || !DataPlaneParallel()) {
+    for (size_t r = 0; r < n; ++r) {
+      if (rkey->IsNull(r)) continue;
+      auto [it, inserted] =
+          index.parts_[KeyPartition(rkey->GetValue(r))].emplace(
+              rkey->GetValue(r), r);
+      (void)it;
+      if (!inserted) ++index.duplicate_keys_;
+    }
+  } else {
+    // Phase 1 — morsel scan: bucket each non-null key row by partition,
+    // preserving row order within a morsel.
+    struct MorselBuckets {
+      std::array<std::vector<uint32_t>, kPartitions> rows;
+    };
+    const size_t num_morsels = (n + kJoinMorselRows - 1) / kJoinMorselRows;
+    std::vector<MorselBuckets> morsels(num_morsels);
+    ParallelFor(0, num_morsels, [&](size_t m) {
+      MorselBuckets& mb = morsels[m];
+      const size_t lo = m * kJoinMorselRows;
+      const size_t hi = std::min(n, lo + kJoinMorselRows);
+      for (size_t r = lo; r < hi; ++r) {
+        if (rkey->IsNull(r)) continue;
+        mb.rows[KeyPartition(rkey->GetValue(r))].push_back(
+            static_cast<uint32_t>(r));
+      }
+    });
+
+    // Phase 2 — per-partition insert. Walking morsels in order feeds each
+    // partition its rows in global row order, so "first occurrence wins"
+    // resolves exactly as in the serial loop.
+    std::array<size_t, kPartitions> dup_counts{};
+    ParallelFor(0, kPartitions, [&](size_t p) {
+      auto& part = index.parts_[p];
+      for (const MorselBuckets& mb : morsels) {
+        for (uint32_t r : mb.rows[p]) {
+          auto [it, inserted] = part.emplace(rkey->GetValue(r), r);
+          (void)it;
+          if (!inserted) ++dup_counts[p];
+        }
+      }
+    });
+    for (size_t d : dup_counts) index.duplicate_keys_ += d;
+  }
+
+  if (index.duplicate_keys_ > 0) {
+    MESA_LOG(Warning) << "HashJoin: " << index.duplicate_keys_
+                      << " duplicate right-side keys ignored";
+  }
+  return index;
+}
+
+int64_t JoinIndex::Find(const Value& key) const {
+  const auto& part = parts_[KeyPartition(key)];
+  auto it = part.find(key);
+  return it == part.end() ? -1 : static_cast<int64_t>(it->second);
+}
 
 Result<Table> HashJoin(const Table& left, const std::string& left_key,
                        const Table& right, const std::string& right_key,
                        const JoinOptions& options) {
-  MESA_SPAN("hash_join");
+  MESA_ASSIGN_OR_RETURN(JoinIndex index, JoinIndex::Build(right, right_key));
+  return HashJoin(left, left_key, index, options);
+}
+
+Result<Table> HashJoin(const Table& left, const std::string& left_key,
+                       const JoinIndex& index, const JoinOptions& options) {
+  MESA_SPAN("query/join");
   MESA_COUNT("query/hash_joins");
+  const Table& right = index.right();
   MESA_ASSIGN_OR_RETURN(const Column* lkey, left.ColumnByName(left_key));
-  MESA_ASSIGN_OR_RETURN(const Column* rkey, right.ColumnByName(right_key));
 
-  // Build: right key -> row (first occurrence wins).
-  std::unordered_map<Value, size_t, ValueHash> index;
-  index.reserve(right.num_rows());
-  size_t duplicate_keys = 0;
-  for (size_t r = 0; r < right.num_rows(); ++r) {
-    if (rkey->IsNull(r)) continue;
-    auto [it, inserted] = index.emplace(rkey->GetValue(r), r);
-    (void)it;
-    if (!inserted) ++duplicate_keys;
-  }
-  if (duplicate_keys > 0) {
-    MESA_LOG(Warning) << "HashJoin: " << duplicate_keys
-                      << " duplicate right-side keys ignored";
-  }
-
-  // Probe.
+  // Probe: per-morsel match buffers, concatenated in morsel index order —
+  // byte-for-byte the row order of a serial front-to-back probe.
   std::vector<size_t> left_rows;
   std::vector<int64_t> right_rows;  // -1 = unmatched (left join)
-  left_rows.reserve(left.num_rows());
-  right_rows.reserve(left.num_rows());
-  for (size_t r = 0; r < left.num_rows(); ++r) {
-    int64_t match = -1;
-    if (!lkey->IsNull(r)) {
-      auto it = index.find(lkey->GetValue(r));
-      if (it != index.end()) match = static_cast<int64_t>(it->second);
+  const size_t n = left.num_rows();
+  if (n < kJoinParallelThreshold || !DataPlaneParallel()) {
+    left_rows.reserve(n);
+    right_rows.reserve(n);
+    for (size_t r = 0; r < n; ++r) {
+      int64_t match = lkey->IsNull(r) ? -1 : index.Find(lkey->GetValue(r));
+      if (match < 0 && options.type == JoinType::kInner) continue;
+      left_rows.push_back(r);
+      right_rows.push_back(match);
     }
-    if (match < 0 && options.type == JoinType::kInner) continue;
-    left_rows.push_back(r);
-    right_rows.push_back(match);
+  } else {
+    struct MorselMatches {
+      std::vector<size_t> left_rows;
+      std::vector<int64_t> right_rows;
+    };
+    const size_t num_morsels = (n + kJoinMorselRows - 1) / kJoinMorselRows;
+    std::vector<MorselMatches> morsels(num_morsels);
+    ParallelFor(0, num_morsels, [&](size_t m) {
+      MorselMatches& mm = morsels[m];
+      const size_t lo = m * kJoinMorselRows;
+      const size_t hi = std::min(n, lo + kJoinMorselRows);
+      for (size_t r = lo; r < hi; ++r) {
+        int64_t match = lkey->IsNull(r) ? -1 : index.Find(lkey->GetValue(r));
+        if (match < 0 && options.type == JoinType::kInner) continue;
+        mm.left_rows.push_back(r);
+        mm.right_rows.push_back(match);
+      }
+    });
+    size_t total = 0;
+    for (const MorselMatches& mm : morsels) total += mm.left_rows.size();
+    left_rows.reserve(total);
+    right_rows.reserve(total);
+    for (const MorselMatches& mm : morsels) {
+      left_rows.insert(left_rows.end(), mm.left_rows.begin(),
+                       mm.left_rows.end());
+      right_rows.insert(right_rows.end(), mm.right_rows.begin(),
+                        mm.right_rows.end());
+    }
   }
 
   // Assemble output: all left columns, then right columns minus its key.
+  // Output names (collision handling included) are resolved serially first;
+  // the per-column gathers are independent, so they run in parallel.
   Table out = left.TakeRows(left_rows);
+  std::vector<std::pair<size_t, std::string>> kept;  // right col idx, name
   for (size_t c = 0; c < right.num_columns(); ++c) {
     const Field& f = right.schema().field(c);
-    if (f.name == right_key) continue;
+    if (f.name == index.right_key()) continue;
     std::string name = f.name;
     if (out.schema().Contains(name)) name = options.collision_prefix + name;
     if (out.schema().Contains(name)) {
       return Status::AlreadyExists("column collision even after prefix: " +
                                    name);
     }
-    const Column& src = right.column(c);
-    Column col(f.type);
+    for (const auto& [idx, taken] : kept) {
+      (void)idx;
+      if (taken == name) {
+        return Status::AlreadyExists("column collision even after prefix: " +
+                                     name);
+      }
+    }
+    kept.emplace_back(c, std::move(name));
+  }
+
+  std::vector<Column> gathered;
+  gathered.reserve(kept.size());
+  for (const auto& [c, name] : kept) {
+    (void)name;
+    gathered.emplace_back(right.schema().field(c).type);
+  }
+  const bool parallel_cols =
+      kept.size() > 1 && right_rows.size() >= kJoinParallelThreshold &&
+      DataPlaneParallel();
+  auto gather = [&](size_t k) {
+    const Column& src = right.column(kept[k].first);
+    Column& col = gathered[k];
     for (int64_t rr : right_rows) {
       if (rr < 0 || src.IsNull(static_cast<size_t>(rr))) {
         col.AppendNull();
@@ -67,7 +198,16 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
         MESA_CHECK(st.ok());
       }
     }
-    MESA_RETURN_IF_ERROR(out.AddColumn({name, f.type}, std::move(col)));
+  };
+  if (parallel_cols) {
+    ParallelFor(0, kept.size(), gather);
+  } else {
+    for (size_t k = 0; k < kept.size(); ++k) gather(k);
+  }
+  for (size_t k = 0; k < kept.size(); ++k) {
+    const Field& f = right.schema().field(kept[k].first);
+    MESA_RETURN_IF_ERROR(
+        out.AddColumn({kept[k].second, f.type}, std::move(gathered[k])));
   }
   return out;
 }

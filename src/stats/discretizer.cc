@@ -1,16 +1,44 @@
 #include "stats/discretizer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "common/logging.h"
+#include "common/lru_cache.h"
+#include "common/rng.h"
+#include "info/info_cache.h"
 
 namespace mesa {
 
 namespace {
+
+// Content-addressed memo for DiscretizeColumn: key = (column content
+// fingerprint, strategy, num_bins, categorical_threshold). Discretisation
+// is a pure function of exactly those inputs, so a hit returns the bytes a
+// recompute would produce. Shares the info-cache on/off gate — both exist
+// to make repeated queries over the same context cheap.
+ShardedLruCache<std::shared_ptr<const Discretized>>* DiscretizerCache() {
+  static auto* cache =
+      new ShardedLruCache<std::shared_ptr<const Discretized>>(uint64_t{4}
+                                                              << 20);
+  return cache;
+}
+
+std::atomic<uint64_t> g_discretizer_hits{0};
+std::atomic<uint64_t> g_discretizer_misses{0};
+
+uint64_t DiscretizeKey(const Column& col, const DiscretizerOptions& options) {
+  uint64_t h = col.ContentFingerprint();
+  h = MixSeed(h, static_cast<uint64_t>(options.strategy) * 2 + 1);
+  h = MixSeed(h, options.num_bins);
+  h = MixSeed(h, options.categorical_threshold);
+  return h;
+}
 
 std::string FormatRange(double lo, double hi) {
   char buf[80];
@@ -109,12 +137,8 @@ Discretized BinNumeric(const std::vector<double>& values,
   return out;
 }
 
-}  // namespace
-
-Result<Discretized> DiscretizeColumn(const Table& table,
-                                     const std::string& column,
-                                     const DiscretizerOptions& options) {
-  MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+Result<Discretized> DiscretizeColumnUncached(const Column* col,
+                                             const DiscretizerOptions& options) {
   const size_t n = col->size();
 
   if (col->type() == DataType::kString) {
@@ -184,6 +208,41 @@ Result<Discretized> DiscretizeColumn(const Table& table,
   }
   return BinNumeric(values, valid, options);
 }
+
+}  // namespace
+
+Result<Discretized> DiscretizeColumn(const Table& table,
+                                     const std::string& column,
+                                     const DiscretizerOptions& options) {
+  MESA_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(column));
+  const bool use_cache = info_cache::Enabled();
+  uint64_t key = 0;
+  if (use_cache) {
+    key = DiscretizeKey(*col, options);
+    std::shared_ptr<const Discretized> hit;
+    if (DiscretizerCache()->Lookup(key, &hit)) {
+      g_discretizer_hits.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+    g_discretizer_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  MESA_ASSIGN_OR_RETURN(Discretized out,
+                        DiscretizeColumnUncached(col, options));
+  if (use_cache) {
+    DiscretizerCache()->Insert(key, std::make_shared<const Discretized>(out),
+                               out.codes.size() + 1);
+  }
+  return out;
+}
+
+DiscretizerCacheStats GetDiscretizerCacheStats() {
+  DiscretizerCacheStats s;
+  s.hits = g_discretizer_hits.load(std::memory_order_relaxed);
+  s.misses = g_discretizer_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ClearDiscretizerCache() { DiscretizerCache()->Clear(); }
 
 Discretized DiscretizeVector(const std::vector<double>& values,
                              const DiscretizerOptions& options) {

@@ -57,6 +57,20 @@ Result<Discretized> DiscretizeColumn(const Table& table,
 Discretized DiscretizeVector(const std::vector<double>& values,
                              const DiscretizerOptions& options = {});
 
+/// Hit/miss counters of the content-addressed DiscretizeColumn memo (see
+/// discretizer.cc). The memo keys on (column content fingerprint, binning
+/// spec), so two queries over identical context slices — even of different
+/// Table objects — share one discretisation, which in turn makes their
+/// CodedVariable fingerprints (and so their info-cache entries) collide.
+struct DiscretizerCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+DiscretizerCacheStats GetDiscretizerCacheStats();
+
+/// Drops every memoized discretisation (counters are kept). For tests.
+void ClearDiscretizerCache();
+
 }  // namespace mesa
 
 #endif  // MESA_STATS_DISCRETIZER_H_

@@ -1,6 +1,8 @@
 #include "table/column.h"
 
 #include "common/logging.h"
+#include "common/retry.h"
+#include "common/rng.h"
 
 namespace mesa {
 
@@ -193,6 +195,32 @@ void Column::SetNull(size_t row) {
     valid_[row] = 0;
     ++null_count_;
   }
+}
+
+uint64_t Column::ContentFingerprint() const {
+  uint64_t h = MixSeed(static_cast<uint64_t>(type_), size());
+  h = MixSeed(h, StableHash64Bytes(valid_.data(), valid_.size()));
+  switch (type_) {
+    case DataType::kDouble:
+      h = MixSeed(h, StableHash64Bytes(doubles_.data(),
+                                       doubles_.size() * sizeof(double)));
+      break;
+    case DataType::kInt64:
+      h = MixSeed(h, StableHash64Bytes(ints_.data(),
+                                       ints_.size() * sizeof(int64_t)));
+      break;
+    case DataType::kString:
+      for (const std::string& s : strings_) {
+        h = MixSeed(h, StableHash64Bytes(s.data(), s.size()));
+      }
+      break;
+    case DataType::kBool:
+      h = MixSeed(h, StableHash64Bytes(bools_.data(), bools_.size()));
+      break;
+    case DataType::kNull:
+      break;
+  }
+  return h;
 }
 
 Column Column::Take(const std::vector<size_t>& rows) const {

@@ -76,6 +76,14 @@ class Column {
   /// Gathers the given rows into a new column.
   Column Take(const std::vector<size_t>& rows) const;
 
+  /// Stable 64-bit hash of the column's content: type, length, validity
+  /// bitmap, and payload. Columns with equal fingerprints are treated as
+  /// interchangeable by content-addressed caches (discretizer memo). Dead
+  /// payload bytes under null slots are hashed too, so a Set-then-SetNull
+  /// column may fingerprint differently from a freshly built equal one —
+  /// that only costs a cache miss, never a false hit.
+  uint64_t ContentFingerprint() const;
+
   /// Direct storage access for tight loops.
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<int64_t>& ints() const { return ints_; }

@@ -21,6 +21,7 @@
 #include "info/entropy.h"
 #include "info/independence.h"
 #include "info/mutual_information.h"
+#include "stats/discretizer.h"
 
 namespace mesa {
 namespace {
@@ -400,6 +401,56 @@ TEST(InfoCacheEndToEnd, ExplanationIdenticalWithCacheOnAndOff) {
   }
   SetNumThreads(1);
   ResetCache();
+}
+
+// ---------------------------------------------------- cross-query reuse
+
+// Two queries over the same content must share cache entries, even when
+// they run through *different* Mesa/Table objects: the discretizer memo
+// keys on Column::ContentFingerprint + binning spec, so identical bytes
+// yield identical codes, identical CodedVariable fingerprints, and so
+// info-cache hits instead of recomputation.
+TEST(InfoCacheCrossQuery, SecondQueryReusesDiscretizerAndInfoEntries) {
+  ResetCache();
+  ClearDiscretizerCache();
+  SetNumThreads(1);
+  GenOptions gen;
+  gen.seed = 2002;
+  auto ds = MakeDataset(DatasetKind::kCovid, gen);
+  ASSERT_TRUE(ds.ok());
+  const QuerySpec query = CanonicalQueries(DatasetKind::kCovid).front().query;
+
+  Mesa mesa1(ds->table, ds->kg.get(), ds->extraction_columns);
+  ASSERT_TRUE(mesa1.Preprocess().ok());
+  auto report1 = mesa1.Explain(query);
+  ASSERT_TRUE(report1.ok()) << report1.status().ToString();
+  const DiscretizerCacheStats disc1 = GetDiscretizerCacheStats();
+  const info_cache::Stats info1 = info_cache::GetStats();
+  EXPECT_GT(disc1.misses, 0u);  // the first query had to discretise
+
+  // Fresh Mesa over the same dataset: new Table/Column objects with the
+  // same bytes. Content addressing must carry every cache entry over.
+  Mesa mesa2(ds->table, ds->kg.get(), ds->extraction_columns);
+  ASSERT_TRUE(mesa2.Preprocess().ok());
+  auto report2 = mesa2.Explain(query);
+  ASSERT_TRUE(report2.ok());
+  const DiscretizerCacheStats disc2 = GetDiscretizerCacheStats();
+  const info_cache::Stats info2 = info_cache::GetStats();
+
+  EXPECT_GT(disc2.hits, disc1.hits);
+  // Nothing new to discretise: every (column content, spec) pair of the
+  // second run was already memoized by the first.
+  EXPECT_EQ(disc2.misses, disc1.misses);
+  EXPECT_GT(info2.scalar_hits + info2.cube_hits,
+            info1.scalar_hits + info1.cube_hits);
+  // And the reused entries produce the same explanation.
+  EXPECT_EQ(report1->base_cmi, report2->base_cmi);
+  EXPECT_EQ(report1->final_cmi, report2->final_cmi);
+  EXPECT_EQ(report1->explanation.attribute_names,
+            report2->explanation.attribute_names);
+
+  ResetCache();
+  ClearDiscretizerCache();
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Bit-identity tests for the morsel-driven parallel data plane: group-by
+// aggregation, hash join (including the reusable JoinIndex), TakeRows, and
+// per-value KG extraction must produce byte-identical outputs at 1, 2, and
+// 8 threads — and identical to the serial reference loops behind
+// SetDataPlaneParallel(false). Same pattern as parallel_test.cc; this
+// binary is a TSan target alongside it (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "datagen/registry.h"
+#include "kg/endpoint.h"
+#include "kg/extractor.h"
+#include "kg/resilient_client.h"
+#include "query/group_by.h"
+#include "query/join.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace mesa {
+namespace {
+
+// Restores the global pool and the data-plane toggle when a test exits.
+struct PoolGuard {
+  ~PoolGuard() {
+    SetDataPlaneParallel(true);
+    SetNumThreads(1);
+  }
+};
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+// A seeded random table big enough to cross the parallel thresholds:
+//   k_str  string key, ~20 distinct values (nullable)
+//   k_int  int key, ~12 distinct values (nullable)
+//   x      double outcome (nullable)
+//   payload extra double column (join payload / TakeRows coverage)
+// `null_rate` also controls the null density of the keys, so the
+// null-heavy configurations exercise the skip paths hard.
+Table MakeRandomTable(uint64_t seed, size_t rows, double null_rate) {
+  Rng rng(seed);
+  Column k_str(DataType::kString);
+  Column k_int(DataType::kInt64);
+  Column x(DataType::kDouble);
+  Column payload(DataType::kDouble);
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(null_rate)) {
+      k_str.AppendNull();
+    } else {
+      k_str.AppendString("key_" + std::to_string(rng.NextBelow(20)));
+    }
+    if (rng.NextBernoulli(null_rate)) {
+      k_int.AppendNull();
+    } else {
+      k_int.AppendInt(static_cast<int64_t>(rng.NextBelow(12)));
+    }
+    if (rng.NextBernoulli(null_rate * 0.5)) {
+      x.AppendNull();
+    } else {
+      x.AppendDouble(rng.NextGaussian(10.0, 3.0));
+    }
+    payload.AppendDouble(rng.NextUniform(-1.0, 1.0));
+  }
+  Schema schema;
+  EXPECT_TRUE(schema.AddField({"k_str", DataType::kString}).ok());
+  EXPECT_TRUE(schema.AddField({"k_int", DataType::kInt64}).ok());
+  EXPECT_TRUE(schema.AddField({"x", DataType::kDouble}).ok());
+  EXPECT_TRUE(schema.AddField({"payload", DataType::kDouble}).ok());
+  auto t = Table::Make(std::move(schema),
+                       {std::move(k_str), std::move(k_int), std::move(x),
+                        std::move(payload)});
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+void ExpectGroupByEqual(const GroupByResult& a, const GroupByResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.input_rows, b.input_rows) << what;
+  ASSERT_EQ(a.groups.size(), b.groups.size()) << what;
+  for (size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_TRUE(a.groups[g].group == b.groups[g].group) << what << " g" << g;
+    EXPECT_TRUE(a.groups[g].values == b.groups[g].values) << what << " g" << g;
+    // Bitwise: the parallel path must preserve the serial FP accumulation
+    // order, not just be "close".
+    EXPECT_EQ(a.groups[g].aggregate, b.groups[g].aggregate)
+        << what << " g" << g;
+    EXPECT_EQ(a.groups[g].count, b.groups[g].count) << what << " g" << g;
+  }
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.schema().ToString(), b.schema().ToString()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      ASSERT_TRUE(a.column(c).GetValue(r) == b.column(c).GetValue(r))
+          << what << " col " << a.schema().field(c).name << " row " << r;
+    }
+  }
+}
+
+// ------------------------------------------------------------- group-by
+
+TEST(QueryParallel, GroupByBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  const AggregateFunction aggs[] = {
+      AggregateFunction::kAvg, AggregateFunction::kSum,
+      AggregateFunction::kCount, AggregateFunction::kMedian,
+      AggregateFunction::kStdDev};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    // Odd seeds are null-heavy (~40% null keys), even seeds mild.
+    const double null_rate = (seed % 2 == 1) ? 0.4 : 0.05;
+    Table table = MakeRandomTable(seed, 6000, null_rate);
+    const AggregateFunction agg = aggs[seed % 5];
+
+    SetDataPlaneParallel(false);
+    SetNumThreads(1);
+    auto serial = GroupByAggregate(table, "k_str", "x", agg);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    auto serial_multi = GroupByAggregate(
+        table, std::vector<std::string>{"k_str", "k_int"}, "x", agg);
+    ASSERT_TRUE(serial_multi.ok());
+
+    SetDataPlaneParallel(true);
+    for (size_t threads : kThreadCounts) {
+      SetNumThreads(threads);
+      auto parallel = GroupByAggregate(table, "k_str", "x", agg);
+      ASSERT_TRUE(parallel.ok());
+      ExpectGroupByEqual(*serial, *parallel,
+                         "seed " + std::to_string(seed) + " threads " +
+                             std::to_string(threads));
+      auto parallel_multi = GroupByAggregate(
+          table, std::vector<std::string>{"k_str", "k_int"}, "x", agg);
+      ASSERT_TRUE(parallel_multi.ok());
+      ExpectGroupByEqual(*serial_multi, *parallel_multi,
+                         "multi seed " + std::to_string(seed) + " threads " +
+                             std::to_string(threads));
+    }
+  }
+}
+
+TEST(QueryParallel, GroupByWithContextAndEmptyResult) {
+  PoolGuard guard;
+  Table table = MakeRandomTable(7, 8000, 0.3);
+
+  // A context that matches a slice of the input.
+  Conjunction some;
+  some.Add({"k_int", CompareOp::kLe, Value::Int(5), {}});
+  // A context that matches nothing: every group is empty.
+  Conjunction none;
+  none.Add({"k_str", CompareOp::kEq, Value::String("no_such_key"), {}});
+
+  SetDataPlaneParallel(false);
+  SetNumThreads(1);
+  auto serial_some =
+      GroupByAggregate(table, "k_str", "x", AggregateFunction::kAvg, some);
+  auto serial_none =
+      GroupByAggregate(table, "k_str", "x", AggregateFunction::kAvg, none);
+  ASSERT_TRUE(serial_some.ok());
+  ASSERT_TRUE(serial_none.ok());
+  EXPECT_EQ(serial_none->input_rows, 0u);
+  EXPECT_TRUE(serial_none->groups.empty());
+
+  SetDataPlaneParallel(true);
+  for (size_t threads : kThreadCounts) {
+    SetNumThreads(threads);
+    auto par_some =
+        GroupByAggregate(table, "k_str", "x", AggregateFunction::kAvg, some);
+    auto par_none =
+        GroupByAggregate(table, "k_str", "x", AggregateFunction::kAvg, none);
+    ASSERT_TRUE(par_some.ok());
+    ASSERT_TRUE(par_none.ok());
+    ExpectGroupByEqual(*serial_some, *par_some, "context slice");
+    ExpectGroupByEqual(*serial_none, *par_none, "empty context");
+  }
+}
+
+// ------------------------------------------------------------- hash join
+
+// Right side: one row per key plus deliberate duplicates and null keys.
+Table MakeRightTable(uint64_t seed) {
+  Rng rng(seed);
+  Column key(DataType::kString);
+  Column attr(DataType::kDouble);
+  Column label(DataType::kString);
+  for (int rep = 0; rep < 2; ++rep) {  // second pass = duplicate keys
+    for (int k = 0; k < 25; ++k) {     // 20 match the left pool, 5 dangle
+      if (rep == 1 && k % 3 != 0) continue;
+      key.AppendString("key_" + std::to_string(k));
+      attr.AppendDouble(rng.NextGaussian());
+      label.AppendString("label_" + std::to_string(rng.NextBelow(100)));
+    }
+    key.AppendNull();
+    attr.AppendDouble(rng.NextGaussian());
+    label.AppendNull();
+  }
+  Schema schema;
+  EXPECT_TRUE(schema.AddField({"k_str", DataType::kString}).ok());
+  EXPECT_TRUE(schema.AddField({"attr", DataType::kDouble}).ok());
+  EXPECT_TRUE(schema.AddField({"label", DataType::kString}).ok());
+  auto t = Table::Make(std::move(schema),
+                       {std::move(key), std::move(attr), std::move(label)});
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+TEST(QueryParallel, HashJoinBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const double null_rate = (seed % 2 == 1) ? 0.4 : 0.05;
+    Table left = MakeRandomTable(seed, 6000, null_rate);
+    Table right = MakeRightTable(seed + 100);
+
+    for (JoinType type : {JoinType::kLeft, JoinType::kInner}) {
+      JoinOptions options;
+      options.type = type;
+      SetDataPlaneParallel(false);
+      SetNumThreads(1);
+      auto serial = HashJoin(left, "k_str", right, "k_str", options);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+      SetDataPlaneParallel(true);
+      for (size_t threads : kThreadCounts) {
+        SetNumThreads(threads);
+        auto parallel = HashJoin(left, "k_str", right, "k_str", options);
+        ASSERT_TRUE(parallel.ok());
+        ExpectTablesEqual(*serial, *parallel,
+                          "seed " + std::to_string(seed) + " threads " +
+                              std::to_string(threads) + " type " +
+                              (type == JoinType::kLeft ? "left" : "inner"));
+      }
+    }
+  }
+}
+
+TEST(QueryParallel, JoinIndexReuseMatchesDirectJoin) {
+  PoolGuard guard;
+  SetNumThreads(8);
+  Table left_a = MakeRandomTable(3, 6000, 0.2);
+  Table left_b = MakeRandomTable(4, 5000, 0.2);
+  Table right = MakeRightTable(42);
+
+  auto index = JoinIndex::Build(right, "k_str");
+  ASSERT_TRUE(index.ok());
+  EXPECT_GT(index->duplicate_keys(), 0u);
+
+  for (const Table* left : {&left_a, &left_b}) {
+    auto direct = HashJoin(*left, "k_str", right, "k_str");
+    auto reused = HashJoin(*left, "k_str", *index);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(reused.ok());
+    ExpectTablesEqual(*direct, *reused, "index reuse");
+  }
+}
+
+TEST(QueryParallel, TakeRowsBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  Table table = MakeRandomTable(11, 9000, 0.3);
+  Rng rng(99);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 7000; ++i) {
+    rows.push_back(static_cast<size_t>(rng.NextBelow(table.num_rows())));
+  }
+
+  SetDataPlaneParallel(false);
+  SetNumThreads(1);
+  Table serial = table.TakeRows(rows);
+
+  SetDataPlaneParallel(true);
+  for (size_t threads : kThreadCounts) {
+    SetNumThreads(threads);
+    Table parallel = table.TakeRows(rows);
+    ExpectTablesEqual(serial, parallel,
+                      "TakeRows threads " + std::to_string(threads));
+  }
+}
+
+// ------------------------------------------------------------- extraction
+
+void ExpectStatsEqual(const ExtractionStats& a, const ExtractionStats& b) {
+  EXPECT_EQ(a.values_total, b.values_total);
+  EXPECT_EQ(a.values_linked, b.values_linked);
+  EXPECT_EQ(a.values_ambiguous, b.values_ambiguous);
+  EXPECT_EQ(a.values_not_found, b.values_not_found);
+  EXPECT_EQ(a.values_failed, b.values_failed);
+  EXPECT_EQ(a.attributes_extracted, b.attributes_extracted);
+}
+
+TEST(QueryParallel, ExtractionBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  auto ds = MakeDataset(DatasetKind::kCovid, GenOptions{});
+  ASSERT_TRUE(ds.ok());
+  ExtractionOptions options;
+  options.hops = 2;
+
+  for (const std::string& column : {std::string("Country"),
+                                    std::string("WHO_Region")}) {
+    // Serial references: the raw TripleStore walk and the shared-client
+    // loop with the data plane off.
+    SetDataPlaneParallel(false);
+    SetNumThreads(1);
+    ExtractionStats store_stats;
+    auto store_serial =
+        ExtractAttributes(ds->table, column, *ds->kg, options, &store_stats);
+    ASSERT_TRUE(store_serial.ok()) << store_serial.status().ToString();
+    ResilientKgClient serial_client(
+        std::make_shared<LocalEndpoint>(ds->kg.get()));
+    ExtractionStats client_stats;
+    auto client_serial = ExtractAttributes(ds->table, column, &serial_client,
+                                           options, &client_stats);
+    ASSERT_TRUE(client_serial.ok());
+    // Fault-free client extraction matches the raw TripleStore walk.
+    ExpectTablesEqual(*store_serial, *client_serial, "client vs store");
+    ExpectStatsEqual(store_stats, client_stats);
+
+    SetDataPlaneParallel(true);
+    for (size_t threads : kThreadCounts) {
+      SetNumThreads(threads);
+      ExtractionStats par_store_stats;
+      auto store_parallel = ExtractAttributes(ds->table, column, *ds->kg,
+                                              options, &par_store_stats);
+      ASSERT_TRUE(store_parallel.ok());
+      ExpectTablesEqual(*store_serial, *store_parallel,
+                        "store threads " + std::to_string(threads));
+      ExpectStatsEqual(store_stats, par_store_stats);
+
+      ResilientKgClient client(std::make_shared<LocalEndpoint>(ds->kg.get()));
+      ASSERT_TRUE(client.SupportsSharding());
+      ExtractionStats par_client_stats;
+      auto client_parallel = ExtractAttributes(ds->table, column, &client,
+                                               options, &par_client_stats);
+      ASSERT_TRUE(client_parallel.ok());
+      ExpectTablesEqual(*client_serial, *client_parallel,
+                        "client threads " + std::to_string(threads));
+      ExpectStatsEqual(client_stats, par_client_stats);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mesa
