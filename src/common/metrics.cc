@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -85,10 +86,24 @@ Registry& GetRegistry() {
 
 struct TraceState {
   std::string path;
+  std::string trace_id;
   // Span-site cache: full path -> distribution handle, so steady-state
   // span exit is one hash lookup with no registry lock.
   std::unordered_map<std::string, Distribution*> span_distributions;
 };
+
+// Bounded ring of completed traced requests.
+constexpr size_t kTraceLogCapacity = 4096;
+
+struct TraceLog {
+  std::mutex mu;
+  std::deque<TraceEvent> events;
+};
+
+TraceLog& GetTraceLog() {
+  static TraceLog* log = new TraceLog();  // leaked, like the registry
+  return *log;
+}
 
 TraceState& Tls() {
   thread_local TraceState state;
@@ -207,6 +222,29 @@ uint64_t CounterValue(std::string_view name) {
   return it == registry.counters.end() ? 0 : it->second->Value();
 }
 
+void RecordTrace(TraceEvent event) {
+  if (!Enabled()) return;
+  TraceLog& log = GetTraceLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  if (log.events.size() >= kTraceLogCapacity) log.events.pop_front();
+  log.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceEvents() {
+  TraceLog& log = GetTraceLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  return std::vector<TraceEvent>(log.events.begin(), log.events.end());
+}
+
+const std::string& CurrentTraceId() { return Tls().trace_id; }
+
+TraceIdGuard::TraceIdGuard(const std::string& id) {
+  saved_ = std::move(Tls().trace_id);
+  Tls().trace_id = id;
+}
+
+TraceIdGuard::~TraceIdGuard() { Tls().trace_id = std::move(saved_); }
+
 Snapshot TakeSnapshot() {
   Registry& registry = GetRegistry();
   // Copy handles under the lock, read values outside it (reads are
@@ -231,16 +269,22 @@ Snapshot TakeSnapshot() {
   for (const auto& [name, distribution] : distributions) {
     snapshot.distributions.emplace_back(name, distribution->GetStats());
   }
+  snapshot.traces = TraceEvents();
   return snapshot;
 }
 
 void ResetAll() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
-  for (auto& [name, counter] : registry.counters) counter->Reset();
-  for (auto& [name, distribution] : registry.distributions) {
-    distribution->Reset();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (auto& [name, counter] : registry.counters) counter->Reset();
+    for (auto& [name, distribution] : registry.distributions) {
+      distribution->Reset();
+    }
   }
+  TraceLog& log = GetTraceLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.events.clear();
 }
 
 std::string ToJson(const Snapshot& snapshot) {
@@ -274,7 +318,22 @@ std::string ToJson(const Snapshot& snapshot) {
     AppendJsonDouble(&out, stats.p99);
     out += '}';
   }
-  out += "}}";
+  out += "},\"traces\":[";
+  first = true;
+  for (const TraceEvent& t : snapshot.traces) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    AppendJsonString(&out, t.id);
+    out += ",\"name\":";
+    AppendJsonString(&out, t.name);
+    out += ",\"ok\":";
+    out += t.ok ? "true" : "false";
+    std::snprintf(buf, sizeof(buf), ",\"ns\":%llu}",
+                  static_cast<unsigned long long>(t.duration_ns));
+    out += buf;
+  }
+  out += "]}";
   return out;
 }
 

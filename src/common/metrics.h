@@ -103,19 +103,57 @@ Distribution& GetDistribution(std::string_view name);
 /// lookup does not create it). Handy for benches and tests.
 uint64_t CounterValue(std::string_view name);
 
+/// One completed traced request (mesa_serve gives every request a unique
+/// trace ID; see docs/serving.md). Span distributions aggregate by path —
+/// bounded cardinality — so per-request identity lives here instead: a
+/// bounded ring of the most recent requests, included in the snapshot.
+struct TraceEvent {
+  std::string id;        ///< unique per request, e.g. "t-17-a3f9".
+  std::string name;      ///< root span path of the request, e.g. "serve/explain".
+  bool ok = true;        ///< whether the request produced a success reply.
+  uint64_t duration_ns = 0;
+};
+
+/// Appends to the trace ring (thread-safe; oldest events drop once the
+/// ring holds kTraceLogCapacity = 4096). No-op when collection is off.
+void RecordTrace(TraceEvent event);
+
+/// Copy of the ring, oldest first.
+std::vector<TraceEvent> TraceEvents();
+
+/// The calling thread's current trace ID ("" outside any traced request).
+/// Propagated into pool workers the same way span paths are, so work done
+/// on behalf of a request carries its ID on any thread.
+const std::string& CurrentTraceId();
+
+/// Installs `id` as this thread's trace ID for a scope.
+class TraceIdGuard {
+ public:
+  explicit TraceIdGuard(const std::string& id);
+  ~TraceIdGuard();
+  TraceIdGuard(const TraceIdGuard&) = delete;
+  TraceIdGuard& operator=(const TraceIdGuard&) = delete;
+
+ private:
+  std::string saved_;
+};
+
 /// Point-in-time copy of every metric, names sorted.
 struct Snapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<std::pair<std::string, Distribution::Stats>> distributions;
+  std::vector<TraceEvent> traces;
 };
 Snapshot TakeSnapshot();
 
-/// Zeroes every counter and distribution (handles stay valid).
+/// Zeroes every counter and distribution and clears the trace ring
+/// (handles stay valid).
 void ResetAll();
 
 /// {"counters":{name:value,...},
 ///  "distributions":{name:{"count":..,"sum":..,"min":..,"max":..,
-///                         "p50":..,"p99":..},...}}
+///                         "p50":..,"p99":..},...},
+///  "traces":[{"id":..,"name":..,"ok":..,"ns":..},...]}
 /// Distribution values for spans are nanoseconds.
 std::string ToJson(const Snapshot& snapshot);
 std::string SnapshotJson();  // ToJson(TakeSnapshot())

@@ -95,9 +95,11 @@ void ThreadPool::Run(size_t num_tasks,
   // (span paths stay invariant to pool size; see common/metrics.h). The
   // caller's own drain() below re-installs its current path, a no-op.
   const std::string trace_path = metrics::CurrentPath();
+  const std::string trace_id = metrics::CurrentTraceId();
   const std::function<void(size_t)>* task_ptr = &task;
-  auto drain = [state, task_ptr, num_tasks, trace_path] {
+  auto drain = [state, task_ptr, num_tasks, trace_path, trace_id] {
     metrics::PathGuard trace_guard(trace_path);
+    metrics::TraceIdGuard trace_id_guard(trace_id);
     for (;;) {
       const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) return;

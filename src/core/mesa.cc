@@ -67,7 +67,19 @@ void Mesa::WireEndpoint(std::shared_ptr<KgEndpoint> endpoint) {
 }
 
 Status Mesa::Preprocess() {
+  // Serialize concurrent first queries: the winner preprocesses, the rest
+  // block on the mutex and then see preprocessed_ == true (the mutex
+  // hand-off publishes every write the winner made). A failed attempt
+  // leaves preprocessed_ false so a later call can retry, matching the
+  // single-threaded behaviour.
+  std::lock_guard<std::mutex> lock(*preprocess_mu_);
   if (preprocessed_) return Status::OK();
+  Status status = PreprocessLocked();
+  if (status.ok()) preprocessed_ = true;
+  return status;
+}
+
+Status Mesa::PreprocessLocked() {
   MESA_RETURN_IF_ERROR(setup_status_);
   MESA_SPAN("preprocess");
 
@@ -117,7 +129,6 @@ Status Mesa::Preprocess() {
       candidate_pool_.push_back(f.name);
     }
   }
-  preprocessed_ = true;
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define MESA_CORE_MESA_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,19 @@ struct MesaReport {
 /// reports explanations with responsibilities. One Mesa instance serves
 /// many queries over the same dataset; extraction and offline pruning
 /// happen once and are cached.
+///
+/// Concurrency contract (the resident-daemon substrate — see
+/// docs/serving.md): after construction, Explain / ExplainSql /
+/// PrepareQuery / FindSubgroups / RankLinks / augmented_table may be
+/// called from any number of threads at once. Preprocessing runs exactly
+/// once under an internal mutex (concurrent first callers serialize; the
+/// winner does the work, the rest observe it); everything it produces
+/// (augmented table, candidate pool, extraction stats) is immutable
+/// afterwards, and all per-query state lives in a fresh QueryAnalysis per
+/// call, whose internal score caches are themselves mutex-guarded.
+/// Results are bit-identical to serial, single-client execution — the
+/// shared sufficient-statistics and discretizer caches are
+/// content-addressed memos of pure values (see docs/performance.md).
 class Mesa {
  public:
   /// `kg` may be null (explanations then come from the input table only —
@@ -82,7 +96,7 @@ class Mesa {
        std::vector<std::string> extraction_columns, MesaOptions options = {});
 
   /// Runs extraction + offline pruning now (otherwise they run lazily on
-  /// the first query).
+  /// the first query). Safe to call concurrently: the work happens once.
   Status Preprocess();
 
   /// Explains the unexpected correlation in `query`.
@@ -150,6 +164,9 @@ class Mesa {
   /// Records a setup error in `setup_status_` instead of throwing.
   void WireEndpoint(std::shared_ptr<KgEndpoint> endpoint);
 
+  /// The body of Preprocess, run under preprocess_mu_.
+  Status PreprocessLocked();
+
   Table base_table_;
   const TripleStore* kg_;  ///< local store behind the endpoint, if any.
   std::vector<std::string> extraction_columns_;
@@ -158,6 +175,11 @@ class Mesa {
   std::unique_ptr<ResilientKgClient> kg_client_;
   Status setup_status_;  ///< surfaced on first use (bad fault plan, ...).
 
+  /// Serializes lazy preprocessing across concurrent queries. Everything
+  /// below is written only by the winner (while the losers wait on the
+  /// mutex, which publishes the writes) and read-only afterwards.
+  /// shared_ptr keeps Mesa movable, like QueryAnalysis's cache_mu_.
+  std::shared_ptr<std::mutex> preprocess_mu_ = std::make_shared<std::mutex>();
   bool preprocessed_ = false;
   Table augmented_;
   std::vector<std::string> kg_columns_;

@@ -1,0 +1,89 @@
+#ifndef MESA_SERVE_ADMISSION_H_
+#define MESA_SERVE_ADMISSION_H_
+
+/// Admission control for the explain daemon: a fixed cap on in-flight
+/// explain requests. An explain is the expensive verb — it fans out over
+/// the shared thread pool — so queuing excess requests behind it would
+/// just grow an unbounded backlog of doomed work. Instead TryAcquire is
+/// non-blocking: a request over the cap is shed immediately with
+/// kResourceExhausted and the client decides whether to retry (fail fast,
+/// never hang — see docs/serving.md).
+
+#include <atomic>
+#include <cstddef>
+
+namespace mesa {
+namespace serve {
+
+class AdmissionController {
+ public:
+  /// `max_inflight` concurrent permits. 0 is a valid (if drastic) cap:
+  /// every explain is shed — useful for drain mode and for pinning the
+  /// shed path in tests.
+  explicit AdmissionController(size_t max_inflight)
+      : max_inflight_(max_inflight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII permit. ok() == false means the request was shed; destruction
+  /// releases the slot only if one was acquired.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    ~Permit() { Release(); }
+
+    bool ok() const { return controller_ != nullptr; }
+    void Release() {
+      if (controller_ != nullptr) {
+        controller_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        controller_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Non-blocking: a permit when under the cap, a !ok() permit otherwise.
+  Permit TryAcquire() {
+    size_t observed = in_flight_.load(std::memory_order_relaxed);
+    while (observed < max_inflight_) {
+      if (in_flight_.compare_exchange_weak(observed, observed + 1,
+                                           std::memory_order_relaxed)) {
+        return Permit(this);
+      }
+    }
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Permit();
+  }
+
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  size_t max_inflight() const { return max_inflight_; }
+  /// Requests shed so far (monotonic).
+  size_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t max_inflight_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> shed_{0};
+};
+
+}  // namespace serve
+}  // namespace mesa
+
+#endif  // MESA_SERVE_ADMISSION_H_

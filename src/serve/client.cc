@@ -1,0 +1,156 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mesa {
+namespace serve {
+
+Result<std::unique_ptr<Client>> Client::Connect(uint16_t port,
+                                                const std::string& host) {
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in server{};
+  server.sin_family = AF_INET;
+  server.sin_addr = addr;
+  server.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&server), sizeof(server)) !=
+      0) {
+    Status status = Status::Unavailable("connect " + host + ":" +
+                                        std::to_string(port) + ": " +
+                                        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::string> Client::CallRaw(const std::string& request_line) {
+  std::string framed = request_line;
+  framed += '\n';
+  const char* data = framed.data();
+  size_t size = framed.size();
+  while (size > 0) {
+    ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    data += static_cast<size_t>(n);
+    size -= static_cast<size_t>(n);
+  }
+
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Unavailable("connection closed before reply");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<JsonValue> Client::Call(const JsonValue& request) {
+  MESA_ASSIGN_OR_RETURN(std::string line, CallRaw(request.Serialize()));
+  Result<JsonValue> reply = JsonValue::Parse(line);
+  if (!reply.ok()) {
+    return Status::Internal("unparseable reply: " + reply.status().message());
+  }
+  if (!reply->is_object()) {
+    return Status::Internal("reply is not a JSON object");
+  }
+  return reply;
+}
+
+Result<Client::ExplainReply> Client::Explain(
+    const std::string& dataset, const std::string& sql,
+    const std::vector<std::string>& subgroups) {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::Str("explain"));
+  request.Set("dataset", JsonValue::Str(dataset));
+  request.Set("sql", JsonValue::Str(sql));
+  if (!subgroups.empty()) {
+    JsonValue cols = JsonValue::Array();
+    for (const std::string& col : subgroups) {
+      cols.Append(JsonValue::Str(col));
+    }
+    request.Set("subgroups", std::move(cols));
+  }
+  MESA_ASSIGN_OR_RETURN(JsonValue reply, Call(request));
+
+  ExplainReply out;
+  out.ok = reply.GetBool("ok");
+  out.trace_id = reply.GetString("trace_id");
+  out.code = reply.GetString("code");
+  out.error = reply.GetString("error");
+  out.report = reply.GetString("report");
+  out.base_cmi = reply.GetNumber("base_cmi");
+  out.final_cmi = reply.GetNumber("final_cmi");
+  out.coverage = reply.GetNumber("coverage", 1.0);
+  out.values_failed =
+      static_cast<uint64_t>(reply.GetNumber("values_failed", 0.0));
+  const JsonValue* explanation = reply.Find("explanation");
+  if (explanation != nullptr && explanation->is_array()) {
+    for (const JsonValue& name : explanation->elements()) {
+      if (name.is_string()) out.explanation.push_back(name.as_string());
+    }
+  }
+  return out;
+}
+
+Result<JsonValue> Client::GetStatus() {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::Str("status"));
+  return Call(request);
+}
+
+Result<std::string> Client::MetricsJson() {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::Str("metrics"));
+  MESA_ASSIGN_OR_RETURN(JsonValue reply, Call(request));
+  if (!reply.GetBool("ok")) {
+    return Status::Internal("metrics failed: " + reply.GetString("error"));
+  }
+  const JsonValue* metrics = reply.Find("metrics");
+  if (metrics == nullptr) return Status::Internal("reply lacks 'metrics'");
+  return metrics->Serialize();
+}
+
+Status Client::Shutdown() {
+  JsonValue request = JsonValue::Object();
+  request.Set("verb", JsonValue::Str("shutdown"));
+  Result<JsonValue> reply = Call(request);
+  MESA_RETURN_IF_ERROR(reply.status());
+  if (!reply->GetBool("ok")) {
+    return Status::Internal("shutdown refused: " + reply->GetString("error"));
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace mesa

@@ -1,0 +1,80 @@
+#ifndef MESA_SERVE_CLIENT_H_
+#define MESA_SERVE_CLIENT_H_
+
+/// Blocking client for the mesa_serve wire protocol (docs/serving.md).
+/// One connection, one request in flight at a time; the tests and the
+/// workload harness drive concurrency by opening one client per thread.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/json.h"
+
+namespace mesa {
+namespace serve {
+
+class Client {
+ public:
+  /// Connects to a daemon on localhost.
+  static Result<std::unique_ptr<Client>> Connect(uint16_t port,
+                                                 const std::string& host =
+                                                     "127.0.0.1");
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one raw request line (no newline) and returns the raw reply
+  /// line. The transport's only framing rule: one line out, one line in.
+  Result<std::string> CallRaw(const std::string& request_line);
+
+  /// Sends a request object and parses the reply object.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// Everything an explain reply carries. When ok is false, code/error
+  /// describe the failure (e.g. "resource_exhausted" from admission) —
+  /// the call itself still succeeds at the transport level.
+  struct ExplainReply {
+    bool ok = false;
+    std::string trace_id;
+    std::string code;    ///< wire code when !ok ("resource_exhausted", ...).
+    std::string error;   ///< message when !ok.
+    std::string report;  ///< the mesa_cli-identical report text.
+    std::vector<std::string> explanation;
+    double base_cmi = 0.0;
+    double final_cmi = 0.0;
+    double coverage = 1.0;
+    uint64_t values_failed = 0;
+  };
+
+  /// explain verb. `subgroups` optionally names refinement attributes
+  /// (appends the subgroup section to the report, as `mesa_cli
+  /// --subgroups` does).
+  Result<ExplainReply> Explain(const std::string& dataset,
+                               const std::string& sql,
+                               const std::vector<std::string>& subgroups = {});
+
+  /// status verb: the raw reply object.
+  Result<JsonValue> GetStatus();
+
+  /// metrics verb: the embedded metrics snapshot, serialized (the
+  /// docs/observability.md JSON schema plus the traces array).
+  Result<std::string> MetricsJson();
+
+  /// shutdown verb. The daemon replies, then tears itself down.
+  Status Shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;  ///< bytes past the last reply line.
+};
+
+}  // namespace serve
+}  // namespace mesa
+
+#endif  // MESA_SERVE_CLIENT_H_

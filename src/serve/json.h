@@ -1,0 +1,122 @@
+#ifndef MESA_SERVE_JSON_H_
+#define MESA_SERVE_JSON_H_
+
+/// Minimal JSON value for the mesa_serve wire protocol (line-delimited
+/// JSON objects; see docs/serving.md). Strict parser: the whole input
+/// must be one JSON value, depth is capped, duplicate keys keep the last
+/// value. Numbers are doubles (the protocol carries no 64-bit ids that
+/// would lose precision). Serialization escapes control characters, so a
+/// serialized value never contains a raw newline — the property the
+/// line-delimited framing depends on.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mesa {
+namespace serve {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject, kRaw };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double n) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  /// Pre-serialized JSON spliced verbatim into the output (used to embed
+  /// the metrics snapshot, which is already a JSON string, without a
+  /// parse/re-serialize round trip). Never produced by Parse.
+  static JsonValue Raw(std::string json) {
+    JsonValue v;
+    v.kind_ = Kind::kRaw;
+    v.string_ = std::move(json);
+    return v;
+  }
+
+  /// Parses exactly one JSON value spanning the whole input (surrounding
+  /// whitespace allowed). Nesting depth is capped at 64.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Object field by key, or nullptr (also for non-objects).
+  const JsonValue* Find(const std::string& key) const;
+  /// Typed object accessors with defaults (missing key or wrong type
+  /// returns the default).
+  std::string GetString(const std::string& key,
+                        const std::string& dflt = "") const;
+  double GetNumber(const std::string& key, double dflt = 0.0) const;
+  bool GetBool(const std::string& key, bool dflt = false) const;
+
+  /// Object mutation: sets `key` (appends; last Set wins on serialize
+  /// conflicts — callers don't set duplicates).
+  JsonValue& Set(const std::string& key, JsonValue value);
+  /// Array mutation.
+  JsonValue& Append(JsonValue value);
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// Compact single-line rendering (no spaces, escapes < 0x20).
+  std::string Serialize() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;                                       // kString/kRaw
+  std::vector<JsonValue> elements_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Escapes and quotes `s` as a JSON string literal.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace serve
+}  // namespace mesa
+
+#endif  // MESA_SERVE_JSON_H_

@@ -1,0 +1,343 @@
+#include "serve/router.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/retry.h"
+#include "core/report_format.h"
+#include "kg/serialization.h"
+#include "query/sql_parser.h"
+#include "table/csv.h"
+
+namespace mesa {
+namespace serve {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wire rendering of a StatusCode ("resource_exhausted", ...).
+const char* WireCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kAlreadyExists: return "already_exists";
+    case StatusCode::kIOError: return "io_error";
+    case StatusCode::kNotImplemented: return "not_implemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+  }
+  return "internal";
+}
+
+std::string ErrorLine(const std::string& trace_id, const std::string& verb,
+                      const std::string& code, const std::string& message) {
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(false));
+  reply.Set("trace_id", JsonValue::Str(trace_id));
+  if (!verb.empty()) reply.Set("verb", JsonValue::Str(verb));
+  reply.Set("code", JsonValue::Str(code));
+  reply.Set("error", JsonValue::Str(message));
+  return reply.Serialize();
+}
+
+std::string StatusErrorLine(const std::string& trace_id,
+                            const std::string& verb, const Status& status) {
+  return ErrorLine(trace_id, verb, WireCode(status.code()), status.message());
+}
+
+}  // namespace
+
+/// Per-request scope: installs the trace ID for this thread (pool workers
+/// inherit it — see common/parallel.cc), opens the root span, and records
+/// a TraceEvent on destruction.
+class Router::RequestScope {
+ public:
+  RequestScope(std::string trace_id, std::string name)
+      : trace_id_(std::move(trace_id)),
+        name_(std::move(name)),
+        id_guard_(trace_id_),
+        path_guard_(name_),
+        start_ns_(NowNanos()) {}
+
+  ~RequestScope() {
+    metrics::TraceEvent event;
+    event.id = trace_id_;
+    event.name = name_;
+    event.ok = ok_;
+    event.duration_ns = NowNanos() - start_ns_;
+    metrics::RecordTrace(std::move(event));
+  }
+
+  void set_ok(bool ok) { ok_ = ok; }
+
+ private:
+  std::string trace_id_;
+  std::string name_;
+  metrics::TraceIdGuard id_guard_;
+  /// The request is the trace root: spans opened inside Explain nest as
+  /// "serve/explain/explain/...", keeping daemon and one-shot span
+  /// hierarchies distinguishable in the snapshot.
+  metrics::PathGuard path_guard_;
+  uint64_t start_ns_;
+  bool ok_ = false;
+};
+
+Router::Router(RouterOptions options)
+    : options_(options), admission_(options.max_inflight) {}
+
+Status Router::AddDataset(const DatasetSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (datasets_.count(spec.name) > 0) {
+    return Status::AlreadyExists("dataset '" + spec.name +
+                                 "' already resident");
+  }
+  MESA_ASSIGN_OR_RETURN(Table table, ReadCsvFile(spec.csv_path));
+
+  ResidentDataset dataset;
+  dataset.name = spec.name;
+  dataset.csv_path = spec.csv_path;
+  dataset.rows = table.num_rows();
+  dataset.columns = table.num_columns();
+  if (!spec.kg_path.empty()) {
+    MESA_ASSIGN_OR_RETURN(TripleStore kg, ReadKgFile(spec.kg_path));
+    dataset.kg = std::make_unique<TripleStore>(std::move(kg));
+    if (spec.extraction_columns.empty()) {
+      return Status::InvalidArgument("dataset '" + spec.name +
+                                     "' has a KG but no extraction columns");
+    }
+  }
+  dataset.mesa = std::make_unique<Mesa>(std::move(table), dataset.kg.get(),
+                                        spec.extraction_columns, spec.options);
+  names_.push_back(spec.name);
+  datasets_.emplace(spec.name, std::move(dataset));
+  return Status::OK();
+}
+
+Status Router::WarmStart() {
+  for (auto& [name, dataset] : datasets_) {
+    Status status = dataset.mesa->Preprocess();
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "warm start of '" + name + "': " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+const ResidentDataset* Router::FindDataset(const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : &it->second;
+}
+
+std::string Router::NextTraceId() {
+  uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  // The sequence number alone guarantees uniqueness within the process;
+  // the hash suffix distinguishes daemon instances in scraped logs.
+  const void* self = this;
+  uint64_t h = StableHash64Bytes(&self, sizeof(self)) ^
+               (seq * 0x9e3779b97f4a7c15ULL);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "t-%llu-%04llx",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(h & 0xffff));
+  return buf;
+}
+
+std::string Router::ErrorReplyLine(const std::string& code,
+                                   const std::string& message) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MESA_COUNT("serve/requests");
+  MESA_COUNT("serve/errors");
+  return ErrorLine(NextTraceId(), "", code, message);
+}
+
+Router::HandleResult Router::Handle(const std::string& request_line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  MESA_COUNT("serve/requests");
+  const std::string trace_id = NextTraceId();
+
+  Result<JsonValue> parsed = JsonValue::Parse(request_line);
+  if (!parsed.ok()) {
+    MESA_COUNT("serve/errors");
+    return {StatusErrorLine(trace_id, "", parsed.status()), false};
+  }
+  if (!parsed->is_object()) {
+    MESA_COUNT("serve/errors");
+    return {ErrorLine(trace_id, "", "invalid_argument",
+                      "request must be a JSON object"),
+            false};
+  }
+  const std::string verb = parsed->GetString("verb");
+  if (verb == "explain") return HandleExplain(*parsed, trace_id);
+  if (verb == "status") return HandleStatus(trace_id);
+  if (verb == "metrics") return HandleMetrics(trace_id);
+  if (verb == "shutdown") {
+    RequestScope scope(trace_id, "serve/shutdown");
+    scope.set_ok(true);
+    JsonValue reply = JsonValue::Object();
+    reply.Set("ok", JsonValue::Bool(true));
+    reply.Set("trace_id", JsonValue::Str(trace_id));
+    reply.Set("verb", JsonValue::Str("shutdown"));
+    reply.Set("shutting_down", JsonValue::Bool(true));
+    return {reply.Serialize(), true};
+  }
+  MESA_COUNT("serve/errors");
+  return {ErrorLine(trace_id, verb, "invalid_argument",
+                    verb.empty() ? "missing verb"
+                                 : "unknown verb '" + verb + "'"),
+          false};
+}
+
+Router::HandleResult Router::HandleExplain(const JsonValue& request,
+                                           const std::string& trace_id) {
+  const std::string dataset_name = request.GetString("dataset");
+  const std::string sql = request.GetString("sql");
+  if (dataset_name.empty() || sql.empty()) {
+    MESA_COUNT("serve/errors");
+    return {ErrorLine(trace_id, "explain", "invalid_argument",
+                      "explain needs 'dataset' and 'sql'"),
+            false};
+  }
+  const ResidentDataset* dataset = FindDataset(dataset_name);
+  if (dataset == nullptr) {
+    MESA_COUNT("serve/errors");
+    return {ErrorLine(trace_id, "explain", "not_found",
+                      "no resident dataset '" + dataset_name + "'"),
+            false};
+  }
+
+  // Admission: shed instead of queue. The reply is cheap by design — the
+  // permit check happens before any per-request work.
+  AdmissionController::Permit permit = admission_.TryAcquire();
+  if (!permit.ok()) {
+    MESA_COUNT("serve/admission/shed");
+    return {ErrorLine(trace_id, "explain", "resource_exhausted",
+                      "explain capacity exhausted (" +
+                          std::to_string(admission_.max_inflight()) +
+                          " in flight); retry later"),
+            false};
+  }
+  MESA_COUNT("serve/admission/accepted");
+
+  RequestScope scope(trace_id, "serve/explain");
+
+  Result<QuerySpec> query = ParseQuery(sql);
+  if (!query.ok()) {
+    MESA_COUNT("serve/errors");
+    return {StatusErrorLine(trace_id, "explain", query.status()), false};
+  }
+  Result<MesaReport> report = dataset->mesa->Explain(*query);
+  if (!report.ok()) {
+    MESA_COUNT("serve/errors");
+    return {StatusErrorLine(trace_id, "explain", report.status()), false};
+  }
+
+  // Render exactly what `mesa_cli explain [--subgroups ...]` prints, so
+  // daemon replies stay byte-comparable to one-shot goldens.
+  std::string text = FormatReport(*report);
+  const JsonValue* subgroups = request.Find("subgroups");
+  if (subgroups != nullptr && subgroups->is_array() &&
+      !subgroups->elements().empty()) {
+    SubgroupOptions sg;
+    sg.threshold = 0.05 * report->base_cmi;
+    for (const JsonValue& col : subgroups->elements()) {
+      if (col.is_string() && !col.as_string().empty()) {
+        sg.refinement_attributes.push_back(col.as_string());
+      }
+    }
+    Result<std::vector<UnexplainedSubgroup>> groups =
+        dataset->mesa->FindSubgroups(*query,
+                                     report->explanation.attribute_names, sg);
+    if (!groups.ok()) {
+      MESA_COUNT("serve/errors");
+      return {StatusErrorLine(trace_id, "explain", groups.status()), false};
+    }
+    text += FormatSubgroups(*groups);
+  }
+
+  scope.set_ok(true);
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("trace_id", JsonValue::Str(trace_id));
+  reply.Set("verb", JsonValue::Str("explain"));
+  reply.Set("dataset", JsonValue::Str(dataset_name));
+  reply.Set("report", JsonValue::Str(text));
+  reply.Set("base_cmi", JsonValue::Number(report->base_cmi));
+  reply.Set("final_cmi", JsonValue::Number(report->final_cmi));
+  JsonValue explanation = JsonValue::Array();
+  for (const std::string& name : report->explanation.attribute_names) {
+    explanation.Append(JsonValue::Str(name));
+  }
+  reply.Set("explanation", std::move(explanation));
+  // Degraded-coverage visibility (docs/robustness.md): a daemon whose KG
+  // had permanent faults serves partial extractions; every reply says so.
+  reply.Set("coverage", JsonValue::Number(report->extraction.Coverage()));
+  reply.Set("values_failed",
+            JsonValue::Number(
+                static_cast<double>(report->extraction.values_failed)));
+  return {reply.Serialize(), false};
+}
+
+Router::HandleResult Router::HandleStatus(const std::string& trace_id) {
+  RequestScope scope(trace_id, "serve/status");
+  scope.set_ok(true);
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("trace_id", JsonValue::Str(trace_id));
+  reply.Set("verb", JsonValue::Str("status"));
+  JsonValue datasets = JsonValue::Array();
+  for (const std::string& name : names_) {
+    const ResidentDataset& dataset = datasets_.at(name);
+    JsonValue entry = JsonValue::Object();
+    entry.Set("name", JsonValue::Str(name));
+    entry.Set("rows",
+              JsonValue::Number(static_cast<double>(dataset.rows)));
+    entry.Set("columns",
+              JsonValue::Number(static_cast<double>(dataset.columns)));
+    entry.Set("kg_columns",
+              JsonValue::Number(
+                  static_cast<double>(dataset.mesa->kg_columns().size())));
+    entry.Set("coverage",
+              JsonValue::Number(dataset.mesa->extraction_stats().Coverage()));
+    datasets.Append(std::move(entry));
+  }
+  reply.Set("datasets", std::move(datasets));
+  reply.Set("in_flight",
+            JsonValue::Number(static_cast<double>(admission_.in_flight())));
+  reply.Set("max_inflight", JsonValue::Number(static_cast<double>(
+                                admission_.max_inflight())));
+  reply.Set("shed",
+            JsonValue::Number(static_cast<double>(admission_.shed())));
+  reply.Set("requests", JsonValue::Number(static_cast<double>(
+                            requests_.load(std::memory_order_relaxed))));
+  return {reply.Serialize(), false};
+}
+
+Router::HandleResult Router::HandleMetrics(const std::string& trace_id) {
+  RequestScope scope(trace_id, "serve/metrics");
+  scope.set_ok(true);
+  JsonValue reply = JsonValue::Object();
+  reply.Set("ok", JsonValue::Bool(true));
+  reply.Set("trace_id", JsonValue::Str(trace_id));
+  reply.Set("verb", JsonValue::Str("metrics"));
+  // The snapshot is already JSON; splice it in verbatim.
+  reply.Set("metrics", JsonValue::Raw(metrics::SnapshotJson()));
+  return {reply.Serialize(), false};
+}
+
+}  // namespace serve
+}  // namespace mesa

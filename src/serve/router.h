@@ -1,0 +1,113 @@
+#ifndef MESA_SERVE_ROUTER_H_
+#define MESA_SERVE_ROUTER_H_
+
+/// Request router for the explain daemon: owns the resident datasets
+/// (CSV loaded, KG joined, pruning done, caches warm), dispatches the
+/// wire verbs (explain / status / metrics / shutdown), stamps every
+/// request with a unique trace ID, and runs explains through the
+/// admission controller. Protocol reference: docs/serving.md.
+///
+/// Thread-safety: AddDataset / WarmStart are setup-time (single thread,
+/// before serving). Handle may then be called from any number of
+/// connection threads concurrently — resident state is immutable during
+/// serving and Mesa::Explain is safe under concurrent callers (see
+/// core/mesa.h).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mesa.h"
+#include "kg/triple_store.h"
+#include "serve/admission.h"
+#include "serve/json.h"
+
+namespace mesa {
+namespace serve {
+
+struct RouterOptions {
+  /// Cap on concurrently executing explain requests; excess requests are
+  /// shed with a fast resource_exhausted reply (never queued).
+  size_t max_inflight = 4;
+};
+
+/// One resident dataset: the owned knowledge graph (if any) and the Mesa
+/// instance answering queries over it.
+struct ResidentDataset {
+  std::string name;
+  std::string csv_path;
+  std::unique_ptr<TripleStore> kg;  ///< owned; Mesa holds a raw pointer.
+  std::unique_ptr<Mesa> mesa;
+  size_t rows = 0;
+  size_t columns = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options = {});
+
+  struct DatasetSpec {
+    std::string name;
+    std::string csv_path;
+    std::string kg_path;  ///< empty = no knowledge graph (HypDB regime).
+    std::vector<std::string> extraction_columns;
+    MesaOptions options;
+  };
+
+  /// Loads the CSV (+ KG) from disk and builds the resident Mesa —
+  /// exactly the load path `mesa_cli explain` takes, so daemon replies
+  /// are byte-identical to one-shot runs over the same files.
+  Status AddDataset(const DatasetSpec& spec);
+
+  /// Preprocesses every resident dataset now (extraction, offline
+  /// pruning, cache fill) so the first explain request pays nothing.
+  Status WarmStart();
+
+  struct HandleResult {
+    std::string reply_line;  ///< serialized JSON reply, no newline.
+    bool shutdown = false;   ///< a shutdown request was accepted.
+  };
+
+  /// Parses and executes one request line. Never throws and never
+  /// returns a non-protocol error: malformed input becomes an ok=false
+  /// reply, so the connection always has a line to send back.
+  HandleResult Handle(const std::string& request_line);
+
+  /// Protocol-shaped error reply for transport-level failures the
+  /// connection detects itself (oversized line). Stamped with a fresh
+  /// trace ID like any other reply.
+  std::string ErrorReplyLine(const std::string& code,
+                             const std::string& message);
+
+  AdmissionController& admission() { return admission_; }
+  const std::vector<std::string>& dataset_names() const { return names_; }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class RequestScope;
+
+  const ResidentDataset* FindDataset(const std::string& name) const;
+  std::string NextTraceId();
+
+  HandleResult HandleExplain(const JsonValue& request,
+                             const std::string& trace_id);
+  HandleResult HandleStatus(const std::string& trace_id);
+  HandleResult HandleMetrics(const std::string& trace_id);
+
+  RouterOptions options_;
+  AdmissionController admission_;
+  std::map<std::string, ResidentDataset> datasets_;
+  std::vector<std::string> names_;  ///< insertion order, for status.
+  std::atomic<uint64_t> trace_seq_{0};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace serve
+}  // namespace mesa
+
+#endif  // MESA_SERVE_ROUTER_H_

@@ -1,0 +1,240 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/metrics.h"
+
+namespace mesa {
+namespace serve {
+namespace {
+
+/// Writes all of `data` to `fd`, riding out EINTR and partial writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<size_t>(n);
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Router* router, ServerOptions options)
+    : router_(router), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+
+  in_addr addr{};
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" + options_.host + "'");
+  }
+  // Loopback-only by policy: the daemon speaks an unauthenticated
+  // protocol and must not be reachable off-host.
+  if ((ntohl(addr.s_addr) >> 24) != 127) {
+    return Status::InvalidArgument(
+        "mesa_serve binds loopback only (got '" + options_.host + "')");
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_addr = addr;
+  bind_addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    Status status = Status::IOError("bind " + options_.host + ":" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, options_.listen_backlog) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown() shut the listening socket down; any other error on a
+      // closed/broken listener also ends the loop.
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    MESA_COUNT("serve/connections");
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_requested_) {
+      ::close(fd);
+      return;
+    }
+    ReapFinished();
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = fd;
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+void Server::ReapFinished() {
+  // Caller holds mu_. Joining a done thread is quick (it has exited its
+  // loop); live connections are skipped. The joiner closes the fd: the
+  // handler itself never does, so Shutdown() can safely ::shutdown any
+  // fd still present in connections_ without racing a close/reuse.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire) &&
+        (*it)->thread.joinable()) {
+      (*it)->thread.join();
+      if ((*it)->fd >= 0) ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::HandleConnection(Connection* connection) {
+  const int fd = connection->fd;
+  std::string buffer;
+  char chunk[4096];
+  bool discarding = false;  // oversized line: drop bytes until '\n'.
+  bool request_shutdown = false;
+
+  for (;;) {
+    // Drain complete lines from the buffer first.
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (discarding) {
+        // The tail of a line whose head we already rejected.
+        discarding = false;
+        continue;
+      }
+      if (line.empty()) continue;  // blank keep-alive lines are ignored.
+      Router::HandleResult result = router_->Handle(line);
+      result.reply_line += '\n';
+      if (!WriteAll(fd, result.reply_line.data(), result.reply_line.size())) {
+        goto done;
+      }
+      if (result.shutdown) {
+        request_shutdown = true;
+        goto done;
+      }
+    }
+
+    if (!discarding && buffer.size() > options_.max_line_bytes) {
+      std::string reply = router_->ErrorReplyLine(
+          "invalid_argument",
+          "request line exceeds " + std::to_string(options_.max_line_bytes) +
+              " bytes");
+      reply += '\n';
+      if (!WriteAll(fd, reply.data(), reply.size())) goto done;
+      buffer.clear();
+      discarding = true;
+    } else if (discarding) {
+      buffer.clear();  // still inside the oversized line.
+    }
+
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) goto done;  // peer closed, or Shutdown() unblocked us.
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+done:
+  // No close here: the thread that joins us (ReapFinished / Shutdown)
+  // closes the fd, so a concurrent Shutdown can never ::shutdown a
+  // recycled descriptor.
+  connection->done.store(true, std::memory_order_release);
+  if (request_shutdown) RequestShutdown();
+}
+
+void Server::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+void Server::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+  }
+  Shutdown();
+}
+
+void Server::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  RequestShutdown();
+
+  // Unblock accept(): shutdown() on a listening socket makes a blocked
+  // accept return on Linux; close alone would not.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Unblock every connection's recv, then join. New connections cannot
+  // appear (the accept loop is gone).
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+}
+
+}  // namespace serve
+}  // namespace mesa

@@ -1,0 +1,102 @@
+#ifndef MESA_SERVE_SERVER_H_
+#define MESA_SERVE_SERVER_H_
+
+/// TCP listener + per-connection handler contexts for the explain daemon.
+/// Localhost only, line-delimited JSON (docs/serving.md): each connection
+/// gets a dedicated handler thread that reads request lines, hands them
+/// to the shared Router, and writes one reply line per request. The heavy
+/// lifting inside a request (candidate scoring, permutation tests) fans
+/// out over the process-wide thread pool from the handler thread, so the
+/// number of connections bounds protocol concurrency while
+/// MESA_NUM_THREADS bounds compute concurrency, and the admission
+/// controller bounds how many explains are in flight at once.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/router.h"
+
+namespace mesa {
+namespace serve {
+
+struct ServerOptions {
+  /// Bind address. The daemon is an analyst-local sidecar, not an
+  /// internet service; it refuses to bind non-loopback addresses.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral (the kernel picks; read it back from port()).
+  uint16_t port = 0;
+  /// Requests longer than this are answered with an invalid_argument
+  /// reply and the rest of the line is discarded; the connection
+  /// survives. Bounds per-connection memory.
+  size_t max_line_bytes = 1 << 20;
+  int listen_backlog = 64;
+};
+
+/// The daemon's socket front end. Owns the accept loop and one handler
+/// thread per live connection; does not own the Router.
+class Server {
+ public:
+  /// `router` must outlive the server.
+  Server(Router* router, ServerOptions options = {});
+  ~Server();  ///< calls Shutdown().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Fails on a non-loopback
+  /// host, an occupied port, or any socket error.
+  Status Start();
+
+  /// The bound port (after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start and Shutdown.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Blocks until a client's `shutdown` request (or a Shutdown call from
+  /// another thread), then tears down. This is mesa_serve's main loop.
+  void Wait();
+
+  /// Stops accepting, unblocks and joins every connection thread, closes
+  /// all sockets. Idempotent; safe from any thread except a connection
+  /// handler (handlers request shutdown via the protocol instead).
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* connection);
+  /// Joins finished connection threads (called opportunistically from
+  /// the accept loop so a long-lived daemon does not accumulate them).
+  void ReapFinished();
+  void RequestShutdown();
+
+  Router* router_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  std::mutex mu_;  ///< guards connections_ and shutdown_requested_.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool shutdown_requested_ = false;
+  std::condition_variable shutdown_cv_;
+};
+
+}  // namespace serve
+}  // namespace mesa
+
+#endif  // MESA_SERVE_SERVER_H_

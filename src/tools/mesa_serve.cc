@@ -1,0 +1,241 @@
+// mesa_serve — resident explain daemon for the MESA library.
+//
+// Loads one or more datasets at startup (CSV + optional KG), preprocesses
+// them (extraction, offline pruning, warm caches), then serves explain
+// requests over a localhost TCP socket speaking line-delimited JSON
+// (protocol: docs/serving.md). One mesa_cli process pays the full load +
+// extraction + pruning cost per query; the daemon pays it once.
+//
+// Examples:
+//   mesa_serve --data "covid=/tmp/covid.csv:/tmp/covid.kg:Country+Continent"
+//   mesa_serve --data "covid=/tmp/c.csv:/tmp/c.kg:Country;flights=/tmp/f.csv"
+//       --port 7411 --max-inflight 8
+//
+// On success prints exactly one line to stdout before serving:
+//   listening on 127.0.0.1:PORT
+// (also written to --port-file FILE as the bare port number, for harnesses
+// that cannot scrape stdout).
+//
+// Exit codes: 0 clean shutdown, 1 usage error, 2 startup error.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "core/mesa.h"
+#include "serve/router.h"
+#include "serve/server.h"
+
+namespace mesa {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage:
+  mesa_serve --data SPEC[;SPEC...]
+      SPEC is NAME=FILE.csv[:FILE.kg:Col1+Col2+...]
+      Each SPEC becomes one resident dataset addressable by NAME in
+      explain requests; the KG columns name the extraction attributes.
+
+      [--port N]            listen port (default 0 = kernel-assigned)
+      [--port-file FILE]    also write the bound port number to FILE
+      [--max-inflight N]    explain admission cap; excess requests get a
+                            fast resource_exhausted reply (default 4)
+      [--threads N]         thread pool size (default $MESA_NUM_THREADS)
+      [--k N]               max explanation size (default 5)
+      [--hops N]            KG extraction depth (default 1)
+      [--no-prune]          disable offline+online pruning
+      [--no-warm]           skip startup preprocessing (first request
+                            per dataset pays it instead)
+      [--fault-plan PLAN]   inject KG endpoint faults, e.g.
+                            "seed=7;fail_keys=0.5" (see docs/robustness.md)
+      [--min-coverage F]    fail explains whose KG extraction coverage
+                            falls below this fraction (default 0)
+)");
+  return 1;
+}
+
+// Same minimal --flag parser as mesa_cli.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      std::string name = arg.substr(2);
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        values_[name.substr(0, eq)] = name.substr(eq + 1);
+        continue;
+      }
+      if (name == "no-prune" || name == "no-warm") {
+        values_[name] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + " needs a value";
+        return;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name, const std::string& dflt = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t dflt) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return dflt;
+    int64_t v = dflt;
+    ParseInt64(it->second, &v);
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+// Parses one NAME=FILE.csv[:FILE.kg:Col1+Col2] spec into a DatasetSpec
+// (options filled in by the caller). Returns false with *error set on a
+// malformed spec.
+bool ParseDataSpec(const std::string& spec, serve::Router::DatasetSpec* out,
+                   std::string* error) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *error = "data spec needs NAME=FILE.csv: '" + spec + "'";
+    return false;
+  }
+  out->name = spec.substr(0, eq);
+  std::vector<std::string> parts = Split(spec.substr(eq + 1), ':');
+  if (parts.empty() || parts[0].empty()) {
+    *error = "data spec '" + out->name + "' has no CSV path";
+    return false;
+  }
+  out->csv_path = parts[0];
+  if (parts.size() == 1) return true;  // no KG.
+  if (parts.size() != 3) {
+    *error = "data spec '" + out->name +
+             "' with a KG needs FILE.kg:Col1+Col2 after the CSV";
+    return false;
+  }
+  out->kg_path = parts[1];
+  for (auto& col : Split(parts[2], '+')) {
+    if (!col.empty()) out->extraction_columns.push_back(col);
+  }
+  if (out->extraction_columns.empty()) {
+    *error = "data spec '" + out->name + "' names a KG but no columns";
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return Usage();
+  }
+  std::string data = flags.Get("data");
+  if (data.empty()) return Usage();
+
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<size_t>(flags.GetInt("threads", 0)));
+  }
+
+  MesaOptions options;
+  options.extraction.hops = static_cast<size_t>(flags.GetInt("hops", 1));
+  options.mcimr.max_size = static_cast<size_t>(flags.GetInt("k", 5));
+  if (flags.Has("no-prune")) {
+    options.enable_offline_pruning = false;
+    options.enable_online_pruning = false;
+  }
+  options.fault_plan = flags.Get("fault-plan");
+  if (flags.Has("min-coverage")) {
+    double floor = 0.0;
+    if (!ParseDouble(flags.Get("min-coverage"), &floor) || floor < 0.0 ||
+        floor > 1.0) {
+      std::fprintf(stderr, "--min-coverage must be a fraction in [0,1]\n");
+      return 1;
+    }
+    options.extraction.min_coverage = floor;
+  }
+
+  serve::RouterOptions router_options;
+  router_options.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 4));
+  serve::Router router(router_options);
+
+  for (const std::string& spec_text : Split(data, ';')) {
+    if (spec_text.empty()) continue;
+    serve::Router::DatasetSpec spec;
+    spec.options = options;
+    std::string error;
+    if (!ParseDataSpec(spec_text, &spec, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    Status added = router.AddDataset(spec);
+    if (!added.ok()) {
+      std::fprintf(stderr, "cannot load dataset '%s': %s\n",
+                   spec.name.c_str(), added.ToString().c_str());
+      return 2;
+    }
+  }
+  if (router.dataset_names().empty()) {
+    std::fprintf(stderr, "--data yielded no datasets\n");
+    return 1;
+  }
+
+  if (!flags.Has("no-warm")) {
+    Status warmed = router.WarmStart();
+    if (!warmed.ok()) {
+      std::fprintf(stderr, "warm start failed: %s\n",
+                   warmed.ToString().c_str());
+      return 2;
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  serve::Server server(&router, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 2;
+  }
+
+  if (flags.Has("port-file")) {
+    std::FILE* f = std::fopen(flags.Get("port-file").c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write port file %s\n",
+                   flags.Get("port-file").c_str());
+      server.Shutdown();
+      return 2;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
+    std::fclose(f);
+  }
+
+  // Harnesses scrape this exact line; flush so a pipe sees it now.
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.Wait();  // returns after a client's shutdown request.
+  return 0;
+}
+
+}  // namespace
+}  // namespace mesa
+
+int main(int argc, char** argv) { return mesa::Main(argc, argv); }
