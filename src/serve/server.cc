@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/metrics.h"
 
@@ -88,6 +90,13 @@ Status Server::Start() {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
+  {
+    // A previous Shutdown() leaves shutdown_requested_ set; clear it so
+    // the server is restartable (running() is documented as "between a
+    // successful Start and Shutdown").
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = false;
+  }
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -97,7 +106,17 @@ void Server::AcceptLoop() {
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) return;
+      // ECONNABORTED (peer reset before we accepted) is routine; EMFILE/
+      // ENFILE-class errors mean fd pressure from live connections, which
+      // clears as handlers finish — back off briefly instead of silently
+      // killing the accept loop while the daemon looks alive.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        continue;
+      }
       // Shutdown() shut the listening socket down; any other error on a
       // closed/broken listener also ends the loop.
       return;
@@ -106,35 +125,46 @@ void Server::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     MESA_COUNT("serve/connections");
 
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_requested_) {
-      ::close(fd);
-      return;
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_requested_) {
+        ::close(fd);
+        return;
+      }
+      finished = ExtractFinished();
+      auto connection = std::make_unique<Connection>();
+      Connection* raw = connection.get();
+      raw->fd = fd;
+      connections_.push_back(std::move(connection));
+      raw->thread = std::thread([this, raw] { HandleConnection(raw); });
     }
-    ReapFinished();
-    auto connection = std::make_unique<Connection>();
-    Connection* raw = connection.get();
-    raw->fd = fd;
-    connections_.push_back(std::move(connection));
-    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+    // Join outside mu_: a finishing handler may be blocked acquiring mu_
+    // (RequestShutdown); joining it while holding the lock would deadlock.
+    for (auto& connection : finished) {
+      connection->thread.join();
+      if (connection->fd >= 0) ::close(connection->fd);
+    }
   }
 }
 
-void Server::ReapFinished() {
-  // Caller holds mu_. Joining a done thread is quick (it has exited its
-  // loop); live connections are skipped. The joiner closes the fd: the
-  // handler itself never does, so Shutdown() can safely ::shutdown any
-  // fd still present in connections_ without racing a close/reuse.
+std::vector<std::unique_ptr<Server::Connection>> Server::ExtractFinished() {
+  // Caller holds mu_. Moves done connections out of connections_ for the
+  // caller to join and close after releasing the lock; live connections
+  // stay. The joiner closes the fd: the handler itself never does, so
+  // Shutdown() can safely ::shutdown any fd still present in
+  // connections_ without racing a close/reuse.
+  std::vector<std::unique_ptr<Connection>> finished;
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->done.load(std::memory_order_acquire) &&
         (*it)->thread.joinable()) {
-      (*it)->thread.join();
-      if ((*it)->fd >= 0) ::close((*it)->fd);
+      finished.push_back(std::move(*it));
       it = connections_.erase(it);
     } else {
       ++it;
     }
   }
+  return finished;
 }
 
 void Server::HandleConnection(Connection* connection) {
@@ -143,6 +173,15 @@ void Server::HandleConnection(Connection* connection) {
   char chunk[4096];
   bool discarding = false;  // oversized line: drop bytes until '\n'.
   bool request_shutdown = false;
+
+  auto oversized_reply = [&] {
+    std::string reply = router_->ErrorReplyLine(
+        "invalid_argument",
+        "request line exceeds " + std::to_string(options_.max_line_bytes) +
+            " bytes");
+    reply += '\n';
+    return WriteAll(fd, reply.data(), reply.size());
+  };
 
   for (;;) {
     // Drain complete lines from the buffer first.
@@ -157,24 +196,26 @@ void Server::HandleConnection(Connection* connection) {
         continue;
       }
       if (line.empty()) continue;  // blank keep-alive lines are ignored.
+      if (line.size() > options_.max_line_bytes) {
+        // A complete line can arrive over the limit when its newline lands
+        // in the same recv chunk that crossed it; enforce the exact bound.
+        if (!oversized_reply()) goto done;
+        continue;
+      }
       Router::HandleResult result = router_->Handle(line);
       result.reply_line += '\n';
-      if (!WriteAll(fd, result.reply_line.data(), result.reply_line.size())) {
-        goto done;
-      }
-      if (result.shutdown) {
-        request_shutdown = true;
+      // Record the accepted shutdown before the write: a client that sends
+      // `shutdown` and disconnects without reading the reply must still
+      // bring the daemon down (the router already replied shutting_down).
+      if (result.shutdown) request_shutdown = true;
+      if (!WriteAll(fd, result.reply_line.data(), result.reply_line.size()) ||
+          request_shutdown) {
         goto done;
       }
     }
 
     if (!discarding && buffer.size() > options_.max_line_bytes) {
-      std::string reply = router_->ErrorReplyLine(
-          "invalid_argument",
-          "request line exceeds " + std::to_string(options_.max_line_bytes) +
-              " bytes");
-      reply += '\n';
-      if (!WriteAll(fd, reply.data(), reply.size())) goto done;
+      if (!oversized_reply()) goto done;
       buffer.clear();
       discarding = true;
     } else if (discarding) {
@@ -188,11 +229,16 @@ void Server::HandleConnection(Connection* connection) {
   }
 
 done:
-  // No close here: the thread that joins us (ReapFinished / Shutdown)
+  // No close here: the thread that joins us (AcceptLoop / Shutdown)
   // closes the fd, so a concurrent Shutdown can never ::shutdown a
   // recycled descriptor.
-  connection->done.store(true, std::memory_order_release);
+  //
+  // Publishing done must be this thread's LAST action: once the flag is
+  // visible, the accept loop may extract and join us, so nothing after
+  // the store may block (RequestShutdown takes mu_, which the joiner
+  // could be holding).
   if (request_shutdown) RequestShutdown();
+  connection->done.store(true, std::memory_order_release);
 }
 
 void Server::RequestShutdown() {

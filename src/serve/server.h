@@ -78,9 +78,12 @@ class Server {
 
   void AcceptLoop();
   void HandleConnection(Connection* connection);
-  /// Joins finished connection threads (called opportunistically from
-  /// the accept loop so a long-lived daemon does not accumulate them).
-  void ReapFinished();
+  /// Moves finished connections out of connections_ (requires mu_). The
+  /// accept loop calls this opportunistically and joins the returned
+  /// threads after releasing mu_, so a long-lived daemon does not
+  /// accumulate dead threads and a handler blocked on mu_ can never
+  /// deadlock against its joiner.
+  std::vector<std::unique_ptr<Connection>> ExtractFinished();
   void RequestShutdown();
 
   Router* router_;

@@ -6,8 +6,12 @@
 // snapshot's trace ring. A final test drives the real mesa_serve binary as
 // a child process over a real socket (skipped when the binary is absent).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -395,6 +399,128 @@ TEST_F(ServeDaemonTest, ShutdownVerbStopsTheServer) {
   EXPECT_FALSE(server.running());
   // The port is released: connecting again fails.
   EXPECT_FALSE(Client::Connect(server.port()).ok());
+}
+
+// Sends `line` + '\n' on a raw socket and closes WITHOUT reading the
+// reply — the rude-client shape the server must tolerate.
+void FireAndForget(uint16_t port, const std::string& line) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string payload = line + "\n";
+  ASSERT_EQ(::send(fd, payload.data(), payload.size(), 0),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fd);
+}
+
+// Regression: the accepted shutdown must be honored even when the client
+// disconnects before the reply is written (the reply write fails, but
+// the router already committed to shutting down).
+TEST(ServeServer, ShutdownVerbHonoredWhenClientNeverReadsTheReply) {
+  Router router;
+  Server server(&router);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread waiter([&] { server.Wait(); });
+  FireAndForget(server.port(), "{\"verb\":\"shutdown\"}");
+  waiter.join();
+  EXPECT_FALSE(server.running());
+}
+
+// Regression: Shutdown() must not poison the server — a subsequent
+// Start() serves connections again (running() is documented as "between
+// a successful Start and Shutdown", with no single-use caveat).
+TEST(ServeServer, RestartAfterShutdownServesAgain) {
+  Router router;
+  Server server(&router);
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    ASSERT_TRUE(server.Start().ok());
+    auto client = Client::Connect(server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto status = (*client)->GetStatus();
+    ASSERT_TRUE(status.ok()) << status.status().ToString();
+    EXPECT_TRUE(status->GetBool("ok"));
+    server.Shutdown();
+    EXPECT_FALSE(server.running());
+  }
+}
+
+// Regression: the max_line_bytes bound is exact. A complete line just
+// over the cap — whose terminating newline arrives in the same recv
+// chunk that crossed the limit, so the partial-buffer check never fires
+// — still gets an invalid_argument reply, and the connection survives.
+TEST(ServeServer, CompleteLineJustOverTheLimitIsRejectedExactly) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  Router router;
+  Server server(&router, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // 65 bytes: one over the cap, far under the 4096-byte recv chunk.
+  std::string over(65, 'x');
+  auto raw = (*client)->CallRaw(over);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto reply = JsonValue::Parse(*raw);
+  ASSERT_TRUE(reply.ok()) << "reply not JSON: " << *raw;
+  EXPECT_FALSE(reply->GetBool("ok"));
+  EXPECT_EQ(reply->GetString("code"), "invalid_argument");
+
+  // At the cap is fine (it is not valid JSON, but it is not oversized).
+  std::string at_cap(64, 'x');
+  auto at_cap_raw = (*client)->CallRaw(at_cap);
+  ASSERT_TRUE(at_cap_raw.ok()) << at_cap_raw.status().ToString();
+  auto at_cap_reply = JsonValue::Parse(*at_cap_raw);
+  ASSERT_TRUE(at_cap_reply.ok());
+  EXPECT_EQ(at_cap_reply->GetString("code"), "invalid_argument");
+  EXPECT_NE(at_cap_reply->GetString("error").find("json"), std::string::npos)
+      << at_cap_reply->GetString("error");
+
+  // The connection still serves real requests.
+  auto status = (*client)->GetStatus();
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_TRUE(status->GetBool("ok"));
+
+  server.Shutdown();
+}
+
+// Regression smoke for the reap/shutdown deadlock: short-lived
+// connections finish (making them reapable by the accept loop) while a
+// shutdown-verb handler races them into RequestShutdown. With the old
+// ordering — done published before RequestShutdown, joins under mu_ —
+// the accept thread could join a handler that was itself blocked on mu_.
+// Restart loops amplify the window; the test simply must not hang.
+TEST(ServeServer, ConnectionChurnRacingShutdownNeverHangs) {
+  Router router;
+  for (int round = 0; round < 20; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    Server server(&router);
+    ASSERT_TRUE(server.Start().ok());
+    const uint16_t port = server.port();
+
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto client = Client::Connect(port);
+        if (!client.ok()) break;  // server is tearing down.
+        (void)(*client)->GetStatus();
+      }
+    });
+
+    std::thread waiter([&] { server.Wait(); });
+    FireAndForget(port, "{\"verb\":\"shutdown\"}");
+    waiter.join();
+    stop.store(true, std::memory_order_release);
+    churn.join();
+    EXPECT_FALSE(server.running());
+  }
 }
 
 TEST(ServeServer, RefusesNonLoopbackBind) {
