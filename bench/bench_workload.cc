@@ -1,0 +1,403 @@
+// bench_workload — the sustained-load harness for mesa_serve
+// (docs/performance.md §7, docs/serving.md).
+//
+// Generates covid + flights, makes both resident, draws a seeded pool of
+// distinct explain queries, and drives them in closed-loop (N workers,
+// optional think time) or open-loop (target QPS, seeded Poisson arrivals)
+// mode. Reports p50/p95/p99 latency, queries/sec, shed rate, and
+// serve/* + info_cache/* counter deltas as text and (with --json=FILE) as
+// one machine-readable JSON object, so CI and multi-core hosts publish
+// comparable scaling numbers.
+//
+// Targets:
+//   --target=router   in-process serve::Router (default; deterministic,
+//                     no sockets — the mode ctest pins byte-identity on)
+//   --target=socket   a local Server in this process, driven through one
+//                     real serve::Client connection per worker
+//   --connect=PORT    an external daemon on localhost (counter deltas are
+//                     then read over its `metrics` verb; --verify assumes
+//                     it serves the same generated covid/flights files)
+//
+// --verify computes a serial oracle (fresh Router, pool pinned to one
+// thread, one request at a time) for every distinct query and asserts
+// each load reply is byte-identical to it; admission sheds are counted
+// but exempt. Exit code 1 on any mismatch.
+//
+// Chaos-under-load: --fault-plan installs a seeded KG fault plan on the
+// resident datasets and --max-inflight caps admission, so retries and
+// sheds happen while the load is in flight (docs/robustness.md).
+//
+// Same --seed => same query pool, same schedule, same request
+// fingerprint; with no sheds the reply fingerprint is identical too.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "datagen/registry.h"
+#include "kg/serialization.h"
+#include "loadgen/driver.h"
+#include "loadgen/schedule.h"
+#include "loadgen/summary.h"
+#include "loadgen/workload.h"
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "table/csv.h"
+
+namespace mesa {
+namespace bench {
+namespace {
+
+// Same minimal --flag parser as mesa_cli / mesa_serve.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      std::string name = arg.substr(2);
+      size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        values_[name.substr(0, eq)] = name.substr(eq + 1);
+        continue;
+      }
+      if (name == "verify" || name == "no-warm") {
+        values_[name] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + " needs a value";
+        return;
+      }
+      values_[name] = argv[++i];
+    }
+  }
+
+  const std::string& error() const { return error_; }
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& dflt = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? dflt : it->second;
+  }
+  int64_t GetInt(const std::string& name, int64_t dflt) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return dflt;
+    int64_t v = dflt;
+    ParseInt64(it->second, &v);
+    return v;
+  }
+  double GetDouble(const std::string& name, double dflt) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return dflt;
+    double v = dflt;
+    ParseDouble(it->second, &v);
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Usage() {
+  std::fprintf(stderr, R"(usage: bench_workload [flags]
+  --mode=closed|open    load discipline (default closed)
+  --seed=S              workload + schedule seed (default 20230707)
+  --workers=N           concurrent workers / connections (default 8)
+  --requests=N          closed loop: requests per worker (default 8)
+  --think-ms=N          closed loop: pause between a worker's requests
+  --total=N             open loop: total requests (default 64)
+  --qps=Q               open loop: target arrival rate (default 200)
+  --distinct=N          distinct-query pool size (default 8)
+  --flights-rows=N      flights dataset rows (default 20000)
+  --target=router|socket  in-process Router or local real-socket daemon
+  --connect=PORT        drive an external daemon on 127.0.0.1:PORT
+  --max-inflight=N      admission cap on the local daemon (default = workers)
+  --fault-plan=PLAN     seeded KG fault plan, e.g. "seed=7;timeout=0.2"
+  --no-warm             skip warm start (first requests race lazy preprocess)
+  --threads=N           pool size (default $MESA_NUM_THREADS)
+  --verify              assert every reply matches the serial oracle
+  --json=FILE           also write the machine-readable summary
+)");
+  return 1;
+}
+
+struct OnDiskDataset {
+  std::string name;
+  std::string csv_path;
+  std::string kg_path;
+  std::vector<std::string> extraction_columns;
+  std::vector<std::string> subgroup_attributes;
+  loadgen::WorkloadDataset workload;
+};
+
+// Generates `kind`, writes it to PID-unique temp files (the form every
+// serving path loads), and builds the workload draw pools.
+OnDiskDataset WriteDataset(DatasetKind kind, const std::string& name,
+                           size_t rows,
+                           std::vector<std::string> subgroup_attributes) {
+  GenOptions gen;
+  gen.rows = rows;
+  auto ds = MakeDataset(kind, gen);
+  MESA_CHECK(ds.ok());
+  OnDiskDataset out;
+  out.name = name;
+  const std::string tag =
+      "/tmp/bench_workload." + std::to_string(::getpid()) + "." + name;
+  out.csv_path = tag + ".csv";
+  out.kg_path = tag + ".kg";
+  MESA_CHECK(WriteCsvFile(ds->table, out.csv_path).ok());
+  MESA_CHECK(WriteKgFile(*ds->kg, out.kg_path).ok());
+  out.extraction_columns = ds->extraction_columns;
+  out.subgroup_attributes = subgroup_attributes;
+  out.workload = loadgen::MakeWorkloadDataset(
+      name, ds->table, ds->extraction_columns, subgroup_attributes);
+  return out;
+}
+
+Status BuildRouter(serve::Router* router,
+                   const std::vector<OnDiskDataset>& datasets,
+                   const std::string& fault_plan, bool warm) {
+  for (const OnDiskDataset& dataset : datasets) {
+    serve::Router::DatasetSpec spec;
+    spec.name = dataset.name;
+    spec.csv_path = dataset.csv_path;
+    spec.kg_path = dataset.kg_path;
+    spec.extraction_columns = dataset.extraction_columns;
+    spec.options.fault_plan = fault_plan;
+    MESA_RETURN_IF_ERROR(router->AddDataset(spec));
+  }
+  if (warm) MESA_RETURN_IF_ERROR(router->WarmStart());
+  return Status::OK();
+}
+
+// The expected reply fields for one distinct query, from the serial
+// oracle: a fresh Router over the same files, pool pinned to one
+// thread, requests issued one at a time.
+struct OracleReply {
+  bool ok = false;
+  std::string code;
+  std::string report;
+  std::string error;
+};
+
+std::vector<OracleReply> ComputeOracle(
+    const std::vector<OnDiskDataset>& datasets,
+    const std::vector<loadgen::WorkloadQuery>& queries,
+    const std::string& fault_plan) {
+  size_t pool_size = NumThreads();
+  SetNumThreads(1);
+  serve::RouterOptions options;
+  options.max_inflight = 1;  // serial: one request ever in flight.
+  serve::Router router(options);
+  MESA_CHECK(BuildRouter(&router, datasets, fault_plan, true).ok());
+  std::vector<OracleReply> oracle;
+  oracle.reserve(queries.size());
+  for (const loadgen::WorkloadQuery& query : queries) {
+    auto handled = router.Handle(query.RequestLine());
+    auto reply = serve::JsonValue::Parse(handled.reply_line);
+    MESA_CHECK(reply.ok());
+    OracleReply expected;
+    expected.ok = reply->GetBool("ok");
+    expected.code = reply->GetString("code");
+    expected.report = reply->GetString("report");
+    expected.error = reply->GetString("error");
+    oracle.push_back(std::move(expected));
+  }
+  SetNumThreads(pool_size);
+  return oracle;
+}
+
+// Compares every captured reply to the oracle; sheds are exempt (they
+// are admission outcomes, not answers). Returns the mismatch count.
+size_t VerifyAgainstOracle(const loadgen::RunResult& result,
+                           const std::vector<OracleReply>& oracle) {
+  size_t mismatches = 0;
+  for (const loadgen::WorkerLog& log : result.logs) {
+    for (const loadgen::LatencyRecord& record : log.records) {
+      if (!record.ok && record.code == "resource_exhausted") continue;
+      const OracleReply& expected = oracle[record.query_index];
+      if (record.ok != expected.ok || record.code != expected.code ||
+          record.report != expected.report ||
+          record.error != expected.error) {
+        ++mismatches;
+        if (mismatches <= 3) {
+          std::fprintf(stderr,
+                       "VERIFY MISMATCH worker=%zu request=%zu query=%zu "
+                       "(ok=%d vs %d, code='%s' vs '%s')\n",
+                       record.worker, record.request, record.query_index,
+                       record.ok ? 1 : 0, expected.ok ? 1 : 0,
+                       record.code.c_str(), expected.code.c_str());
+        }
+      }
+    }
+  }
+  return mismatches;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!flags.error().empty()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return Usage();
+  }
+  const std::string mode_name = flags.Get("mode", "closed");
+  const std::string target_name = flags.Get("target", "router");
+  if ((mode_name != "closed" && mode_name != "open") ||
+      (target_name != "router" && target_name != "socket")) {
+    return Usage();
+  }
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<size_t>(flags.GetInt("threads", 1)));
+  }
+
+  loadgen::DriverOptions driver;
+  driver.mode = mode_name == "open" ? loadgen::LoadMode::kOpen
+                                    : loadgen::LoadMode::kClosed;
+  driver.seed = static_cast<uint64_t>(flags.GetInt("seed", 20230707));
+  driver.workers = static_cast<size_t>(flags.GetInt("workers", 8));
+  driver.requests_per_worker =
+      static_cast<size_t>(flags.GetInt("requests", 8));
+  driver.think_ns =
+      static_cast<uint64_t>(flags.GetInt("think-ms", 0)) * 1000000ULL;
+  driver.total_requests = static_cast<size_t>(flags.GetInt("total", 64));
+  driver.target_qps = flags.GetDouble("qps", 200.0);
+  const bool verify = flags.Has("verify");
+  driver.capture_replies = verify;
+
+  // Datasets + seeded query pool.
+  std::vector<OnDiskDataset> datasets;
+  datasets.push_back(WriteDataset(DatasetKind::kCovid, "covid", 0,
+                                  {"WHO_Region"}));
+  datasets.push_back(WriteDataset(
+      DatasetKind::kFlights, "flights",
+      static_cast<size_t>(flags.GetInt("flights-rows", 20000)),
+      {"Origin_state"}));
+
+  loadgen::WorkloadOptions workload_options;
+  workload_options.seed = driver.seed;
+  workload_options.distinct_queries =
+      static_cast<size_t>(flags.GetInt("distinct", 8));
+  std::vector<loadgen::WorkloadDataset> pools;
+  for (const OnDiskDataset& dataset : datasets) pools.push_back(dataset.workload);
+  auto queries = loadgen::GenerateWorkload(pools, workload_options);
+  MESA_CHECK(queries.ok());
+
+  const std::string fault_plan = flags.Get("fault-plan");
+  std::vector<OracleReply> oracle;
+  if (verify) {
+    std::printf("computing serial oracle over %zu distinct queries...\n",
+                queries->size());
+    oracle = ComputeOracle(datasets, *queries, fault_plan);
+  }
+
+  // The service under load + a target factory for it.
+  serve::RouterOptions router_options;
+  router_options.max_inflight = static_cast<size_t>(
+      flags.GetInt("max-inflight", static_cast<int64_t>(driver.workers)));
+  serve::Router router(router_options);
+  serve::Server server(&router);
+  loadgen::TargetFactory factory;
+  uint16_t connect_port = 0;
+  const bool external = flags.Has("connect");
+  if (external) {
+    connect_port = static_cast<uint16_t>(flags.GetInt("connect", 0));
+  } else {
+    Status built =
+        BuildRouter(&router, datasets, fault_plan, !flags.Has("no-warm"));
+    if (!built.ok()) {
+      std::fprintf(stderr, "cannot build router: %s\n",
+                   built.ToString().c_str());
+      return 2;
+    }
+    if (target_name == "socket") {
+      Status started = server.Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "cannot start server: %s\n",
+                     started.ToString().c_str());
+        return 2;
+      }
+      connect_port = server.port();
+    }
+  }
+  if (!external && target_name == "router") {
+    factory = [&](size_t) -> Result<std::unique_ptr<loadgen::RequestTarget>> {
+      return std::unique_ptr<loadgen::RequestTarget>(
+          new loadgen::RouterTarget(&router));
+    };
+  } else {
+    factory = [&](size_t) -> Result<std::unique_ptr<loadgen::RequestTarget>> {
+      MESA_ASSIGN_OR_RETURN(std::unique_ptr<loadgen::SocketTarget> target,
+                            loadgen::SocketTarget::Connect(connect_port));
+      return std::unique_ptr<loadgen::RequestTarget>(std::move(target));
+    };
+  }
+
+  // Counter deltas: process-local registry for local targets, the
+  // daemon's metrics verb for an external one.
+  auto read_counters = [&]() -> loadgen::CounterMap {
+    if (!external) {
+      return loadgen::ReadProcessCounters(loadgen::DefaultCounterPrefixes());
+    }
+    auto probe = serve::Client::Connect(connect_port);
+    if (!probe.ok()) return {};
+    auto json = (*probe)->MetricsJson();
+    if (!json.ok()) return {};
+    auto counters =
+        loadgen::ParseCountersJson(*json, loadgen::DefaultCounterPrefixes());
+    return counters.ok() ? *counters : loadgen::CounterMap{};
+  };
+
+  loadgen::CounterMap before = read_counters();
+  auto result = loadgen::RunWorkload(*queries, factory, driver);
+  MESA_CHECK(result.ok());
+  loadgen::CounterMap deltas = loadgen::CounterDelta(before, read_counters());
+
+  loadgen::WorkloadSummary summary =
+      loadgen::Summarize(driver, *result, queries->size(), std::move(deltas));
+  std::printf("=== workload: %s-loop over covid+flights (target=%s) ===\n",
+              summary.mode.c_str(),
+              external ? "external daemon" : target_name.c_str());
+  std::printf("%s", loadgen::SummaryToText(summary).c_str());
+
+  int exit_code = 0;
+  if (verify) {
+    size_t mismatches = VerifyAgainstOracle(*result, oracle);
+    std::printf("verify: %zu replies checked against the serial oracle, "
+                "%zu mismatches, %zu sheds exempt\n",
+                summary.attempted - summary.shed, mismatches, summary.shed);
+    if (mismatches > 0) exit_code = 1;
+  }
+  if (flags.Has("json")) {
+    Status written = loadgen::WriteSummaryJsonFile(summary, flags.Get("json"));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      exit_code = 2;
+    }
+  }
+
+  if (server.running()) server.Shutdown();
+  for (const OnDiskDataset& dataset : datasets) {
+    std::remove(dataset.csv_path.c_str());
+    std::remove(dataset.kg_path.c_str());
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mesa
+
+int main(int argc, char** argv) { return mesa::bench::Run(argc, argv); }

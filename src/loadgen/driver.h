@@ -1,0 +1,121 @@
+#ifndef MESA_LOADGEN_DRIVER_H_
+#define MESA_LOADGEN_DRIVER_H_
+
+/// The load driver: fires a seeded workload at a live explain service
+/// in closed-loop or open-loop mode and collects per-request latency
+/// into lock-free per-worker logs (docs/performance.md §7).
+///
+/// The service is abstracted as a RequestTarget — one per worker — so
+/// the same driver runs against an in-process serve::Router (fully
+/// deterministic, the ctest mode) and against a real daemon socket via
+/// serve::Client (the throughput mode). Request lines are identical in
+/// both modes by construction (WorkloadQuery::RequestLine).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "loadgen/latency.h"
+#include "loadgen/workload.h"
+#include "serve/client.h"
+#include "serve/router.h"
+
+namespace mesa {
+namespace loadgen {
+
+/// One worker's connection to the service under load.
+class RequestTarget {
+ public:
+  virtual ~RequestTarget() = default;
+  /// Sends one request line, returns the raw reply line. A !ok Status
+  /// means the transport itself failed (protocol-level errors come back
+  /// as ok=false reply lines instead).
+  virtual Result<std::string> Call(const std::string& request_line) = 0;
+};
+
+/// In-process target: calls Router::Handle directly. Deterministic —
+/// no sockets, no kernel scheduling in the reply path — which is what
+/// the ctest load tests drive.
+class RouterTarget : public RequestTarget {
+ public:
+  /// `router` must outlive the target; Handle is thread-safe.
+  explicit RouterTarget(serve::Router* router) : router_(router) {}
+  Result<std::string> Call(const std::string& request_line) override {
+    return router_->Handle(request_line).reply_line;
+  }
+
+ private:
+  serve::Router* router_;
+};
+
+/// Real-socket target: one serve::Client connection per worker.
+class SocketTarget : public RequestTarget {
+ public:
+  static Result<std::unique_ptr<SocketTarget>> Connect(
+      uint16_t port, const std::string& host = "127.0.0.1");
+  Result<std::string> Call(const std::string& request_line) override {
+    return client_->CallRaw(request_line);
+  }
+
+ private:
+  explicit SocketTarget(std::unique_ptr<serve::Client> client)
+      : client_(std::move(client)) {}
+  std::unique_ptr<serve::Client> client_;
+};
+
+/// Builds worker `w`'s target. Called once per worker before any load
+/// is applied, so connection failures fail the run up front.
+using TargetFactory =
+    std::function<Result<std::unique_ptr<RequestTarget>>(size_t worker)>;
+
+enum class LoadMode {
+  kClosed,  ///< N workers, back-to-back requests, optional think time.
+  kOpen,    ///< target QPS, seeded Poisson arrivals.
+};
+
+struct DriverOptions {
+  LoadMode mode = LoadMode::kClosed;
+  uint64_t seed = 20230707;
+  size_t workers = 8;
+  /// Closed loop: requests each worker issues.
+  size_t requests_per_worker = 8;
+  /// Closed loop: pause between a worker's requests.
+  uint64_t think_ns = 0;
+  /// Open loop: arrival rate and total request count.
+  double target_qps = 100.0;
+  size_t total_requests = 64;
+  /// Keep reply report/error text in the records (the byte-identity
+  /// tests need it; pure throughput runs can skip the copies).
+  bool capture_replies = false;
+};
+
+struct RunResult {
+  std::vector<WorkerLog> logs;  ///< one per worker.
+  double wall_seconds = 0.0;
+  size_t attempted = 0;
+  size_t ok = 0;
+  size_t shed = 0;    ///< resource_exhausted replies (admission).
+  size_t errors = 0;  ///< other !ok replies + transport failures.
+  /// Order-stable checksums (see docs/observability.md): the request
+  /// fingerprint covers the request lines in schedule order and depends
+  /// only on (workload, options) — two same-seed runs always match. The
+  /// reply fingerprint additionally covers (ok, code, report, error) per
+  /// reply; it is stable whenever the reply content is (i.e. no sheds).
+  uint64_t request_fingerprint = 0;
+  uint64_t reply_fingerprint = 0;
+};
+
+/// Runs the workload. Never blocks forever by construction: workers
+/// issue a fixed number of requests, and the daemon's admission control
+/// sheds rather than queues.
+Result<RunResult> RunWorkload(const std::vector<WorkloadQuery>& queries,
+                              const TargetFactory& factory,
+                              const DriverOptions& options);
+
+}  // namespace loadgen
+}  // namespace mesa
+
+#endif  // MESA_LOADGEN_DRIVER_H_

@@ -1,0 +1,35 @@
+#include "loadgen/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mesa {
+namespace loadgen {
+
+double PercentileNearestRank(const std::vector<double>& sorted_ascending,
+                             double pct) {
+  if (sorted_ascending.empty()) return 0.0;
+  const double n = static_cast<double>(sorted_ascending.size());
+  size_t rank = static_cast<size_t>(std::ceil(pct / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted_ascending.size()) rank = sorted_ascending.size();
+  return sorted_ascending[rank - 1];
+}
+
+LatencyStats ComputeLatencyStats(std::vector<double> samples_ms) {
+  LatencyStats stats;
+  if (samples_ms.empty()) return stats;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  stats.count = samples_ms.size();
+  stats.p50_ms = PercentileNearestRank(samples_ms, 50.0);
+  stats.p95_ms = PercentileNearestRank(samples_ms, 95.0);
+  stats.p99_ms = PercentileNearestRank(samples_ms, 99.0);
+  double sum = 0.0;
+  for (double v : samples_ms) sum += v;
+  stats.mean_ms = sum / static_cast<double>(samples_ms.size());
+  stats.max_ms = samples_ms.back();
+  return stats;
+}
+
+}  // namespace loadgen
+}  // namespace mesa

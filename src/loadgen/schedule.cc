@@ -1,0 +1,43 @@
+#include "loadgen/schedule.h"
+
+#include "common/rng.h"
+
+namespace mesa {
+namespace loadgen {
+namespace {
+
+// Domain tags keep the schedule streams independent of the workload
+// generator's (which also derives from the run seed).
+constexpr uint64_t kIndexStream = 0x6c6f616423696478ULL;    // "load#idx"
+constexpr uint64_t kArrivalStream = 0x6c6f616423617272ULL;  // "load#arr"
+
+}  // namespace
+
+size_t QueryIndexFor(uint64_t seed, size_t worker, size_t request,
+                     size_t num_queries) {
+  if (num_queries == 0) return 0;
+  // Workers stay far below 2^24 and requests below 2^40; the shifted
+  // worker id keeps every (worker, request) key distinct.
+  uint64_t key = (static_cast<uint64_t>(worker) << 40) |
+                 static_cast<uint64_t>(request);
+  return static_cast<size_t>(MixSeed(MixSeed(seed, kIndexStream), key) %
+                             num_queries);
+}
+
+std::vector<uint64_t> OpenLoopArrivalsNs(const OpenLoopOptions& options) {
+  std::vector<uint64_t> arrivals;
+  if (options.total_requests == 0 || !(options.target_qps > 0.0)) {
+    return arrivals;
+  }
+  arrivals.reserve(options.total_requests);
+  Rng rng(MixSeed(options.seed, kArrivalStream));
+  double elapsed_seconds = 0.0;
+  for (size_t i = 0; i < options.total_requests; ++i) {
+    elapsed_seconds += rng.NextExponential(options.target_qps);
+    arrivals.push_back(static_cast<uint64_t>(elapsed_seconds * 1e9));
+  }
+  return arrivals;
+}
+
+}  // namespace loadgen
+}  // namespace mesa

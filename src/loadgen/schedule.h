@@ -1,0 +1,48 @@
+#ifndef MESA_LOADGEN_SCHEDULE_H_
+#define MESA_LOADGEN_SCHEDULE_H_
+
+/// Deterministic request scheduling for the load driver
+/// (docs/performance.md §7).
+///
+/// Two schedules, matching the two classic load-driver disciplines:
+///
+///  - Closed loop: N workers issue requests back to back (optional
+///    think time). Which query a worker issues is a pure function of
+///    (seed, worker, request index), so the request content never
+///    depends on timing.
+///  - Open loop: requests arrive at a target rate regardless of how
+///    fast replies come back — a Poisson process with seeded
+///    exponential inter-arrivals, materialized up front as a vector of
+///    absolute offsets so two runs with the same seed fire the same
+///    schedule to the nanosecond.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesa {
+namespace loadgen {
+
+/// The query-pool index request `request` of worker `worker` issues.
+/// Closed loop passes its real worker id; open loop passes worker 0 and
+/// the global arrival index, so the mapping is shared by both modes.
+/// Pure and stable: same arguments, same answer, forever.
+size_t QueryIndexFor(uint64_t seed, size_t worker, size_t request,
+                     size_t num_queries);
+
+struct OpenLoopOptions {
+  uint64_t seed = 1;
+  double target_qps = 100.0;
+  size_t total_requests = 0;
+};
+
+/// Poisson arrivals: `total_requests` non-decreasing absolute offsets
+/// (nanoseconds from run start) with exponential inter-arrival times of
+/// rate `target_qps`, drawn from a seeded deterministic stream. Empty
+/// when total_requests is 0 or target_qps is not positive.
+std::vector<uint64_t> OpenLoopArrivalsNs(const OpenLoopOptions& options);
+
+}  // namespace loadgen
+}  // namespace mesa
+
+#endif  // MESA_LOADGEN_SCHEDULE_H_

@@ -1,0 +1,134 @@
+#include "loadgen/workload.h"
+
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "query/group_by.h"
+#include "query/query_spec.h"
+#include "serve/json.h"
+
+namespace mesa {
+namespace loadgen {
+namespace {
+
+/// One draw from a dataset's pools. The rng is fully consumed-agnostic:
+/// every draw path reads the same generators in the same order only as
+/// far as it goes, and each (slot, attempt) pair gets a fresh stream,
+/// so the result depends on nothing but the seed derivation.
+WorkloadQuery DrawQuery(const WorkloadDataset& dataset, Rng& rng,
+                        const WorkloadOptions& options) {
+  QuerySpec spec;
+  spec.table_name = dataset.name;
+  spec.exposure = dataset.exposures[rng.NextBelow(dataset.exposures.size())];
+  spec.outcome = dataset.outcomes[rng.NextBelow(dataset.outcomes.size())];
+  if (!dataset.contexts.empty() &&
+      rng.NextBernoulli(options.where_probability)) {
+    const WorkloadDataset::ContextChoice& choice =
+        dataset.contexts[rng.NextBelow(dataset.contexts.size())];
+    if (choice.column != spec.exposure && choice.column != spec.outcome) {
+      spec.context.Add({choice.column, CompareOp::kEq, choice.value, {}});
+    }
+  }
+
+  WorkloadQuery query;
+  query.dataset = dataset.name;
+  query.sql = spec.ToSql();
+  if (!dataset.subgroup_attributes.empty() &&
+      rng.NextBernoulli(options.subgroup_probability)) {
+    const std::string& column = dataset.subgroup_attributes[rng.NextBelow(
+        dataset.subgroup_attributes.size())];
+    if (column != spec.exposure) query.subgroups.push_back(column);
+  }
+  return query;
+}
+
+}  // namespace
+
+WorkloadDataset MakeWorkloadDataset(
+    std::string name, const Table& table,
+    std::vector<std::string> extraction_columns,
+    std::vector<std::string> subgroup_attributes) {
+  WorkloadDataset dataset;
+  dataset.name = std::move(name);
+  dataset.exposures = std::move(extraction_columns);
+  dataset.subgroup_attributes = std::move(subgroup_attributes);
+
+  std::set<std::string> exposure_set(dataset.exposures.begin(),
+                                     dataset.exposures.end());
+  for (const Field& field : table.schema().fields()) {
+    if (field.type == DataType::kDouble &&
+        exposure_set.count(field.name) == 0) {
+      dataset.outcomes.push_back(field.name);
+    }
+  }
+
+  for (const Field& field : table.schema().fields()) {
+    if (field.type != DataType::kString) continue;
+    std::vector<Value> values;
+    auto codes = EncodeGroups(table, field.name, &values);
+    if (!codes.ok() || values.size() < 2 || values.size() > 30) continue;
+    std::vector<size_t> counts(values.size(), 0);
+    for (int32_t code : *codes) {
+      if (code >= 0) ++counts[static_cast<size_t>(code)];
+    }
+    for (size_t v = 0; v < values.size(); ++v) {
+      if (counts[v] * 10 >= table.num_rows()) {
+        dataset.contexts.push_back({field.name, values[v]});
+      }
+    }
+  }
+  return dataset;
+}
+
+std::string WorkloadQuery::RequestLine() const {
+  serve::JsonValue request = serve::JsonValue::Object();
+  request.Set("verb", serve::JsonValue::Str("explain"));
+  request.Set("dataset", serve::JsonValue::Str(dataset));
+  request.Set("sql", serve::JsonValue::Str(sql));
+  if (!subgroups.empty()) {
+    serve::JsonValue columns = serve::JsonValue::Array();
+    for (const std::string& column : subgroups) {
+      columns.Append(serve::JsonValue::Str(column));
+    }
+    request.Set("subgroups", std::move(columns));
+  }
+  return request.Serialize();
+}
+
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    const std::vector<WorkloadDataset>& datasets,
+    const WorkloadOptions& options) {
+  if (datasets.empty()) {
+    return Status::InvalidArgument("workload needs at least one dataset");
+  }
+  for (const WorkloadDataset& dataset : datasets) {
+    if (dataset.exposures.empty() || dataset.outcomes.empty()) {
+      return Status::InvalidArgument(
+          "workload dataset '" + dataset.name +
+          "' needs at least one exposure and one outcome");
+    }
+  }
+
+  // Each slot gets up to 32 attempts to land a query the pool has not
+  // seen yet; attempts derive fresh seeds, so dedup never perturbs the
+  // stream of later slots. A still-duplicate query after the attempts
+  // is kept (tiny pools over tiny datasets can exhaust the shape space).
+  std::vector<WorkloadQuery> pool;
+  pool.reserve(options.distinct_queries);
+  std::set<std::string> seen;
+  for (size_t slot = 0; slot < options.distinct_queries; ++slot) {
+    const WorkloadDataset& dataset = datasets[slot % datasets.size()];
+    WorkloadQuery query;
+    for (uint64_t attempt = 0; attempt < 32; ++attempt) {
+      Rng rng(MixSeed(options.seed, slot * 64 + attempt));
+      query = DrawQuery(dataset, rng, options);
+      if (seen.insert(query.RequestLine()).second) break;
+    }
+    pool.push_back(std::move(query));
+  }
+  return pool;
+}
+
+}  // namespace loadgen
+}  // namespace mesa

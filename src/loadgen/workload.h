@@ -1,0 +1,87 @@
+#ifndef MESA_LOADGEN_WORKLOAD_H_
+#define MESA_LOADGEN_WORKLOAD_H_
+
+/// Seeded workload generation for the mesa_serve load harness
+/// (docs/performance.md §7). A workload is a small pool of distinct
+/// explain queries drawn deterministically from one or more resident
+/// datasets — the same seed always yields the same pool, so a load run
+/// is reproducible end to end and every reply can be checked against a
+/// serial oracle computed once per distinct query.
+///
+/// Query shapes follow bench_usefulness_random_queries: exposure = an
+/// extraction column, outcome = a numeric attribute, optional WHERE
+/// over a frequent categorical value, optional subgroup refinement.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace mesa {
+namespace loadgen {
+
+/// What the generator may draw from for one resident dataset.
+struct WorkloadDataset {
+  std::string name;  ///< the daemon-side dataset name ("covid").
+  /// Candidate exposures (grouping attributes) — the extraction columns.
+  std::vector<std::string> exposures;
+  /// Candidate numeric outcomes.
+  std::vector<std::string> outcomes;
+  /// Candidate WHERE equalities: a categorical column and one of its
+  /// frequent values.
+  struct ContextChoice {
+    std::string column;
+    Value value;
+  };
+  std::vector<ContextChoice> contexts;
+  /// Candidate subgroup refinement attributes (empty = never ask for
+  /// subgroups on this dataset).
+  std::vector<std::string> subgroup_attributes;
+};
+
+/// Inspects `table` and builds the draw pools: exposures come from
+/// `extraction_columns`, outcomes are the double-typed columns not used
+/// as exposures, contexts are string-column values covering at least
+/// 10% of the rows (2..30 distinct values per column, as in the §5.1
+/// usefulness bench).
+WorkloadDataset MakeWorkloadDataset(
+    std::string name, const Table& table,
+    std::vector<std::string> extraction_columns,
+    std::vector<std::string> subgroup_attributes = {});
+
+/// One distinct query of the pool.
+struct WorkloadQuery {
+  std::string dataset;
+  std::string sql;
+  std::vector<std::string> subgroups;
+
+  /// The exact wire request line serve::Client::Explain would send for
+  /// this query (field order included), so in-process Router mode and
+  /// real-socket mode drive byte-identical requests.
+  std::string RequestLine() const;
+};
+
+struct WorkloadOptions {
+  uint64_t seed = 20230707;
+  /// Size of the distinct-query pool the schedule draws indices from.
+  size_t distinct_queries = 8;
+  double where_probability = 0.5;
+  double subgroup_probability = 0.25;
+};
+
+/// Deterministic: the same datasets + options always produce the same
+/// query pool, element for element. Datasets are covered round-robin,
+/// so every dataset appears in any pool at least as large as the
+/// dataset list. Fails on an empty dataset list or a dataset with no
+/// exposures or no outcomes.
+Result<std::vector<WorkloadQuery>> GenerateWorkload(
+    const std::vector<WorkloadDataset>& datasets,
+    const WorkloadOptions& options);
+
+}  // namespace loadgen
+}  // namespace mesa
+
+#endif  // MESA_LOADGEN_WORKLOAD_H_

@@ -77,6 +77,11 @@ class Router::RequestScope {
     event.name = name_;
     event.ok = ok_;
     event.duration_ns = NowNanos() - start_ns_;
+    // End-to-end request latency as the daemon sees it — the load
+    // harness (docs/performance.md §7) diffs these against its own
+    // client-side percentiles to isolate transport cost.
+    MESA_RECORD("serve/request_ns", event.duration_ns);
+    if (ok_) MESA_COUNT("serve/replies_ok");
     metrics::RecordTrace(std::move(event));
   }
 

@@ -215,15 +215,20 @@ int Main(int argc, char** argv) {
   }
 
   if (flags.Has("port-file")) {
-    std::FILE* f = std::fopen(flags.Get("port-file").c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot write port file %s\n",
-                   flags.Get("port-file").c_str());
+    // Write-then-rename: a harness polling for the file either sees
+    // nothing or a complete port number, never a partial write.
+    const std::string path = flags.Get("port-file");
+    const std::string tmp_path = path + ".tmp";
+    std::FILE* f = std::fopen(tmp_path.c_str(), "w");
+    bool written =
+        f != nullptr &&
+        std::fprintf(f, "%u\n", static_cast<unsigned>(server.port())) > 0;
+    if (f != nullptr) written = std::fclose(f) == 0 && written;
+    if (!written || std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "cannot write port file %s\n", path.c_str());
       server.Shutdown();
       return 2;
     }
-    std::fprintf(f, "%u\n", static_cast<unsigned>(server.port()));
-    std::fclose(f);
   }
 
   // Harnesses scrape this exact line; flush so a pipe sees it now.

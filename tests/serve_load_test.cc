@@ -1,0 +1,367 @@
+// Load tests for the explain daemon (docs/performance.md §7): the
+// loadgen driver fires seeded closed/open-loop workloads over TWO
+// resident datasets (covid + flights) at an in-process Router and at a
+// real socket, and every successful reply must be byte-identical to a
+// serial oracle — at 1, 2, and 8 pool threads, with admission sheds and
+// a transient fault plan in flight.
+//
+// The oracle is a fresh single-permit Router over the same on-disk
+// files, driven one request at a time on a one-thread pool; its first
+// subgroup-free reply is additionally cross-checked against a one-shot
+// Mesa + FormatReport, tying the resident path to the mesa_cli path.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/mesa.h"
+#include "core/report_format.h"
+#include "datagen/registry.h"
+#include "kg/serialization.h"
+#include "loadgen/driver.h"
+#include "loadgen/workload.h"
+#include "query/sql_parser.h"
+#include "serve/json.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "table/csv.h"
+
+namespace mesa {
+namespace loadgen {
+namespace {
+
+// The transient-only plan serve_chaos_test proves is masked completely:
+// replies under it must stay byte-identical to the fault-free oracle.
+constexpr char kTransientPlan[] =
+    "seed=101;timeout=0.15;rate_limit=0.1;unavailable=0.05;truncate=0.05;"
+    "latency=1:5";
+
+constexpr uint64_t kWorkloadSeed = 20230707;
+constexpr size_t kDistinctQueries = 6;
+
+struct OracleReply {
+  bool ok = false;
+  std::string code;
+  std::string report;
+  std::string error;
+};
+
+// Both datasets on disk + the seeded query pool + the serial oracle,
+// built once for the whole binary (each ctest test is its own process;
+// PID-unique paths keep parallel ctest runs off each other's files).
+class ServeLoadTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto covid = MakeDataset(DatasetKind::kCovid);
+    ASSERT_TRUE(covid.ok()) << covid.status().ToString();
+    GenOptions flights_gen;
+    flights_gen.rows = 20000;  // plenty of load, a fraction of the 100k default.
+    auto flights = MakeDataset(DatasetKind::kFlights, flights_gen);
+    ASSERT_TRUE(flights.ok()) << flights.status().ToString();
+    datasets_ = new std::vector<GeneratedDataset>;
+    datasets_->push_back(std::move(*covid));
+    datasets_->push_back(std::move(*flights));
+    paths_ = new std::vector<std::pair<std::string, std::string>>;
+    const std::string tag = std::to_string(::getpid());
+    for (const GeneratedDataset& ds : *datasets_) {
+      std::string csv =
+          testing::TempDir() + "/serve_load." + tag + "." + ds.name + ".csv";
+      std::string kg =
+          testing::TempDir() + "/serve_load." + tag + "." + ds.name + ".kg";
+      ASSERT_TRUE(WriteCsvFile(ds.table, csv).ok());
+      ASSERT_TRUE(WriteKgFile(*ds.kg, kg).ok());
+      paths_->emplace_back(std::move(csv), std::move(kg));
+    }
+
+    WorkloadOptions options;
+    options.seed = kWorkloadSeed;
+    options.distinct_queries = kDistinctQueries;
+    std::vector<WorkloadDataset> pools;
+    pools.push_back(MakeWorkloadDataset("covid", (*datasets_)[0].table,
+                                        (*datasets_)[0].extraction_columns,
+                                        {"WHO_Region"}));
+    pools.push_back(MakeWorkloadDataset("flights", (*datasets_)[1].table,
+                                        (*datasets_)[1].extraction_columns,
+                                        {"Origin_state"}));
+    auto queries = GenerateWorkload(pools, options);
+    ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+    queries_ = new std::vector<WorkloadQuery>(std::move(*queries));
+
+    // Serial oracle: one-thread pool, one permit, one request at a time.
+    SetNumThreads(1);
+    serve::RouterOptions router_options;
+    router_options.max_inflight = 1;
+    serve::Router router(router_options);
+    BuildRouter(&router, "", /*warm=*/true);
+    oracle_ = new std::vector<OracleReply>;
+    for (const WorkloadQuery& query : *queries_) {
+      auto reply = serve::JsonValue::Parse(
+          router.Handle(query.RequestLine()).reply_line);
+      ASSERT_TRUE(reply.ok());
+      OracleReply expected;
+      expected.ok = reply->GetBool("ok");
+      expected.code = reply->GetString("code");
+      expected.report = reply->GetString("report");
+      expected.error = reply->GetString("error");
+      oracle_->push_back(std::move(expected));
+    }
+
+    // Cross-check: the resident oracle's subgroup-free replies are the
+    // one-shot library's replies, byte for byte.
+    for (size_t i = 0; i < queries_->size(); ++i) {
+      const WorkloadQuery& query = (*queries_)[i];
+      if (!(*oracle_)[i].ok || !query.subgroups.empty()) continue;
+      const size_t which = query.dataset == "covid" ? 0 : 1;
+      auto table = ReadCsvFile((*paths_)[which].first);
+      ASSERT_TRUE(table.ok());
+      auto kg = ReadKgFile((*paths_)[which].second);
+      ASSERT_TRUE(kg.ok());
+      Mesa mesa(std::move(*table), &*kg,
+                (*datasets_)[which].extraction_columns, MesaOptions{});
+      auto parsed = ParseQuery(query.sql);
+      ASSERT_TRUE(parsed.ok()) << query.sql;
+      auto report = mesa.Explain(*parsed);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ((*oracle_)[i].report, FormatReport(*report)) << query.sql;
+      break;  // one cross-check ties the paths; the rest is the oracle's job.
+    }
+  }
+
+  static void TearDownTestSuite() {
+    for (const auto& [csv, kg] : *paths_) {
+      std::remove(csv.c_str());
+      std::remove(kg.c_str());
+    }
+    delete paths_;
+    delete datasets_;
+    delete queries_;
+    delete oracle_;
+    paths_ = nullptr;
+    datasets_ = nullptr;
+    queries_ = nullptr;
+    oracle_ = nullptr;
+  }
+
+  static void BuildRouter(serve::Router* router, const std::string& fault_plan,
+                          bool warm) {
+    for (size_t i = 0; i < datasets_->size(); ++i) {
+      serve::Router::DatasetSpec spec;
+      spec.name = i == 0 ? "covid" : "flights";
+      spec.csv_path = (*paths_)[i].first;
+      spec.kg_path = (*paths_)[i].second;
+      spec.extraction_columns = (*datasets_)[i].extraction_columns;
+      spec.options.fault_plan = fault_plan;
+      ASSERT_TRUE(router->AddDataset(spec).ok());
+    }
+    if (warm) {
+      ASSERT_TRUE(router->WarmStart().ok());
+    }
+  }
+
+  static TargetFactory RouterFactory(serve::Router* router) {
+    return [router](size_t) -> Result<std::unique_ptr<RequestTarget>> {
+      return std::unique_ptr<RequestTarget>(new RouterTarget(router));
+    };
+  }
+
+  // Every non-shed record must match the oracle byte for byte; sheds
+  // are admission outcomes, not answers, and are merely counted.
+  static size_t CheckAgainstOracle(const RunResult& result) {
+    size_t sheds = 0;
+    for (const WorkerLog& log : result.logs) {
+      for (const LatencyRecord& record : log.records) {
+        if (!record.ok && record.code == "resource_exhausted") {
+          ++sheds;
+          continue;
+        }
+        const OracleReply& expected = (*oracle_)[record.query_index];
+        EXPECT_EQ(record.ok, expected.ok)
+            << "worker " << record.worker << " request " << record.request;
+        EXPECT_EQ(record.code, expected.code);
+        EXPECT_EQ(record.report, expected.report)
+            << "query " << record.query_index << " reply diverged";
+        EXPECT_EQ(record.error, expected.error);
+      }
+    }
+    return sheds;
+  }
+
+  static std::vector<GeneratedDataset>* datasets_;
+  static std::vector<std::pair<std::string, std::string>>* paths_;
+  static std::vector<WorkloadQuery>* queries_;
+  static std::vector<OracleReply>* oracle_;
+};
+
+std::vector<GeneratedDataset>* ServeLoadTest::datasets_ = nullptr;
+std::vector<std::pair<std::string, std::string>>* ServeLoadTest::paths_ =
+    nullptr;
+std::vector<WorkloadQuery>* ServeLoadTest::queries_ = nullptr;
+std::vector<OracleReply>* ServeLoadTest::oracle_ = nullptr;
+
+// Closed loop, 8 concurrent workers, over both resident datasets: every
+// reply byte-identical to the serial oracle at 1, 2, and 8 pool
+// threads, and the reply fingerprint identical across thread counts.
+TEST_F(ServeLoadTest, ClosedLoopMatchesSerialOracleAcrossThreadCounts) {
+  DriverOptions options;
+  options.mode = LoadMode::kClosed;
+  options.seed = kWorkloadSeed;
+  options.workers = 8;
+  options.requests_per_worker = 4;
+  options.capture_replies = true;
+
+  uint64_t golden_requests = 0;
+  uint64_t golden_replies = 0;
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    SetNumThreads(threads);
+    serve::RouterOptions router_options;
+    router_options.max_inflight = options.workers;  // capacity: no sheds.
+    serve::Router router(router_options);
+    BuildRouter(&router, "", /*warm=*/true);
+
+    auto result = RunWorkload(*queries_, RouterFactory(&router), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->attempted, 32u);
+    EXPECT_EQ(result->shed, 0u);
+    EXPECT_EQ(result->errors, 0u);
+    EXPECT_EQ(CheckAgainstOracle(*result), 0u);
+    if (golden_requests == 0) {
+      golden_requests = result->request_fingerprint;
+      golden_replies = result->reply_fingerprint;
+    } else {
+      EXPECT_EQ(result->request_fingerprint, golden_requests);
+      EXPECT_EQ(result->reply_fingerprint, golden_replies);
+    }
+  }
+  SetNumThreads(1);
+}
+
+// The acceptance-criteria run: same seed twice => identical request
+// sequence AND identical reply bytes; a different seed draws a
+// different schedule.
+TEST_F(ServeLoadTest, SameSeedRunsAreByteIdentical) {
+  SetNumThreads(2);
+  serve::Router router;
+  BuildRouter(&router, "", /*warm=*/true);
+  DriverOptions options;
+  options.mode = LoadMode::kClosed;
+  options.seed = 1234;
+  options.workers = 4;
+  options.requests_per_worker = 4;
+  options.capture_replies = true;
+
+  auto first = RunWorkload(*queries_, RouterFactory(&router), options);
+  auto second = RunWorkload(*queries_, RouterFactory(&router), options);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first->request_fingerprint, second->request_fingerprint);
+  EXPECT_EQ(first->reply_fingerprint, second->reply_fingerprint);
+
+  options.seed = 5678;
+  auto other = RunWorkload(*queries_, RouterFactory(&router), options);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(other->request_fingerprint, first->request_fingerprint);
+  SetNumThreads(1);
+}
+
+// Open loop: seeded Poisson arrivals, replies still oracle-identical.
+TEST_F(ServeLoadTest, OpenLoopMatchesSerialOracle) {
+  SetNumThreads(2);
+  serve::RouterOptions router_options;
+  router_options.max_inflight = 8;
+  serve::Router router(router_options);
+  BuildRouter(&router, "", /*warm=*/true);
+  DriverOptions options;
+  options.mode = LoadMode::kOpen;
+  options.seed = kWorkloadSeed;
+  options.workers = 4;
+  options.target_qps = 400.0;
+  options.total_requests = 24;
+  options.capture_replies = true;
+
+  auto result = RunWorkload(*queries_, RouterFactory(&router), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 24u);
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->shed, 0u);
+  EXPECT_EQ(CheckAgainstOracle(*result), 0u);
+  SetNumThreads(1);
+}
+
+// Chaos under load: a COLD router (lazy preprocess races the load), a
+// transient fault plan firing during extraction, and a 2-permit
+// admission cap shedding most of an 8-worker burst. The run must
+// complete (no hangs), and every reply must be either byte-identical
+// to the fault-free oracle or a clean resource_exhausted shed.
+TEST_F(ServeLoadTest, ChaosUnderLoadNeverHangsNeverCorruptsAReply) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    SetNumThreads(threads);
+    serve::RouterOptions router_options;
+    router_options.max_inflight = 2;
+    serve::Router router(router_options);
+    BuildRouter(&router, kTransientPlan, /*warm=*/false);
+
+    DriverOptions options;
+    options.mode = LoadMode::kClosed;
+    options.seed = kWorkloadSeed;
+    options.workers = 8;
+    options.requests_per_worker = 3;
+    options.capture_replies = true;
+
+    auto result = RunWorkload(*queries_, RouterFactory(&router), options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->attempted, 24u);
+    EXPECT_EQ(result->errors, 0u);  // every reply: oracle-identical or shed.
+    EXPECT_EQ(CheckAgainstOracle(*result), result->shed);
+    EXPECT_EQ(result->ok + result->shed, result->attempted);
+    // The driver's shed count is the router's own admission count.
+    EXPECT_EQ(router.admission().shed(), result->shed);
+  }
+  SetNumThreads(1);
+}
+
+// Real-socket smoke: the same workload through a live Server and one
+// serve::Client connection per worker — replies identical to the same
+// oracle, proving RequestLine really is the wire format.
+TEST_F(ServeLoadTest, SocketClosedLoopMatchesSerialOracle) {
+  SetNumThreads(2);
+  serve::RouterOptions router_options;
+  router_options.max_inflight = 4;
+  serve::Router router(router_options);
+  BuildRouter(&router, "", /*warm=*/true);
+  serve::Server server(&router);
+  ASSERT_TRUE(server.Start().ok());
+
+  DriverOptions options;
+  options.mode = LoadMode::kClosed;
+  options.seed = kWorkloadSeed;
+  options.workers = 4;
+  options.requests_per_worker = 2;
+  options.capture_replies = true;
+  TargetFactory factory =
+      [&server](size_t) -> Result<std::unique_ptr<RequestTarget>> {
+    MESA_ASSIGN_OR_RETURN(std::unique_ptr<SocketTarget> target,
+                          SocketTarget::Connect(server.port()));
+    return std::unique_ptr<RequestTarget>(std::move(target));
+  };
+
+  auto result = RunWorkload(*queries_, factory, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 8u);
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->shed, 0u);
+  EXPECT_EQ(CheckAgainstOracle(*result), 0u);
+
+  server.Shutdown();
+  SetNumThreads(1);
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace mesa

@@ -397,8 +397,10 @@ TEST_F(ServeDaemonTest, ShutdownVerbStopsTheServer) {
   EXPECT_TRUE((*client)->Shutdown().ok());
   waiter.join();
   EXPECT_FALSE(server.running());
-  // The port is released: connecting again fails.
-  EXPECT_FALSE(Client::Connect(server.port()).ok());
+  // Note: no "connecting again fails" assertion here — under parallel
+  // ctest another test process can bind the just-released ephemeral
+  // port immediately, making a reconnect succeed against a stranger.
+  // running() == false is the contract; port reuse is the kernel's.
 }
 
 // Sends `line` + '\n' on a raw socket and closes WITHOUT reading the
