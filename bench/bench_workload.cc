@@ -72,7 +72,8 @@ class Flags {
         values_[name.substr(0, eq)] = name.substr(eq + 1);
         continue;
       }
-      if (name == "verify" || name == "no-warm") {
+      if (name == "verify" || name == "no-warm" || name == "gen-only" ||
+          name == "allow-disconnect") {
         values_[name] = "true";
         continue;
       }
@@ -128,7 +129,19 @@ int Usage() {
   --fault-plan=PLAN     seeded KG fault plan, e.g. "seed=7;timeout=0.2"
   --no-warm             skip warm start (first requests race lazy preprocess)
   --threads=N           pool size (default $MESA_NUM_THREADS)
+  --deadline-ms=N       attach a deadline_ms field to every explain; the
+                        summary then reports the deadline-hit rate and
+                        cancellation-unwind latency (default 0 = none)
   --verify              assert every reply matches the serial oracle
+                        (sheds / deadline_exceeded / cancelled exempt)
+  --allow-disconnect    verify: also exempt transport failures — for runs
+                        whose daemon is killed mid-load (drain chaos)
+  --data-dir=DIR        write the generated datasets to DIR with stable
+                        names instead of PID-unique /tmp files (DIR must
+                        exist); files are kept, so an external daemon can
+                        serve exactly what --verify's oracle loads
+  --gen-only            with --data-dir: write the datasets, print the
+                        matching mesa_serve --data spec, and exit
   --json=FILE           also write the machine-readable summary
 )");
   return 1;
@@ -144,10 +157,13 @@ struct OnDiskDataset {
 };
 
 // Generates `kind`, writes it to PID-unique temp files (the form every
-// serving path loads), and builds the workload draw pools.
+// serving path loads) — or to stable names under `dir` when non-empty,
+// so a separately started daemon can serve the identical bytes — and
+// builds the workload draw pools.
 OnDiskDataset WriteDataset(DatasetKind kind, const std::string& name,
                            size_t rows,
-                           std::vector<std::string> subgroup_attributes) {
+                           std::vector<std::string> subgroup_attributes,
+                           const std::string& dir) {
   GenOptions gen;
   gen.rows = rows;
   auto ds = MakeDataset(kind, gen);
@@ -155,7 +171,9 @@ OnDiskDataset WriteDataset(DatasetKind kind, const std::string& name,
   OnDiskDataset out;
   out.name = name;
   const std::string tag =
-      "/tmp/bench_workload." + std::to_string(::getpid()) + "." + name;
+      dir.empty()
+          ? "/tmp/bench_workload." + std::to_string(::getpid()) + "." + name
+          : dir + "/" + name;
   out.csv_path = tag + ".csv";
   out.kg_path = tag + ".kg";
   MESA_CHECK(WriteCsvFile(ds->table, out.csv_path).ok());
@@ -220,14 +238,25 @@ std::vector<OracleReply> ComputeOracle(
   return oracle;
 }
 
-// Compares every captured reply to the oracle; sheds are exempt (they
-// are admission outcomes, not answers). Returns the mismatch count.
+// Compares every captured reply to the oracle. Exempt: sheds (admission
+// outcomes), deadline_exceeded / cancelled (cancellation outcomes — a
+// reply that *completes* under a deadline must still match), and, with
+// `allow_disconnect`, transport failures (the daemon was killed
+// mid-load). Returns the mismatch count.
 size_t VerifyAgainstOracle(const loadgen::RunResult& result,
-                           const std::vector<OracleReply>& oracle) {
+                           const std::vector<OracleReply>& oracle,
+                           bool allow_disconnect) {
   size_t mismatches = 0;
   for (const loadgen::WorkerLog& log : result.logs) {
     for (const loadgen::LatencyRecord& record : log.records) {
-      if (!record.ok && record.code == "resource_exhausted") continue;
+      if (!record.ok && (record.code == "resource_exhausted" ||
+                         record.code == "deadline_exceeded" ||
+                         record.code == "cancelled")) {
+        continue;
+      }
+      if (!record.ok && allow_disconnect && record.code == "transport") {
+        continue;
+      }
       const OracleReply& expected = oracle[record.query_index];
       if (record.ok != expected.ok || record.code != expected.code ||
           record.report != expected.report ||
@@ -274,17 +303,41 @@ int Run(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("think-ms", 0)) * 1000000ULL;
   driver.total_requests = static_cast<size_t>(flags.GetInt("total", 64));
   driver.target_qps = flags.GetDouble("qps", 200.0);
+  driver.deadline_ms = static_cast<uint64_t>(flags.GetInt("deadline-ms", 0));
   const bool verify = flags.Has("verify");
   driver.capture_replies = verify;
+  const std::string data_dir = flags.Get("data-dir");
+  if (flags.Has("gen-only") && data_dir.empty()) {
+    std::fprintf(stderr, "--gen-only needs --data-dir\n");
+    return Usage();
+  }
 
   // Datasets + seeded query pool.
   std::vector<OnDiskDataset> datasets;
   datasets.push_back(WriteDataset(DatasetKind::kCovid, "covid", 0,
-                                  {"WHO_Region"}));
+                                  {"WHO_Region"}, data_dir));
   datasets.push_back(WriteDataset(
       DatasetKind::kFlights, "flights",
       static_cast<size_t>(flags.GetInt("flights-rows", 20000)),
-      {"Origin_state"}));
+      {"Origin_state"}, data_dir));
+
+  if (flags.Has("gen-only")) {
+    // Print the mesa_serve --data spec covering exactly these files, so
+    // a harness can do: mesa_serve --data "$(bench_workload --gen-only
+    // --data-dir=DIR)" and then drive it with --connect --data-dir=DIR.
+    std::string spec;
+    for (const OnDiskDataset& dataset : datasets) {
+      if (!spec.empty()) spec += ';';
+      spec += dataset.name + "=" + dataset.csv_path + ":" + dataset.kg_path +
+              ":";
+      for (size_t i = 0; i < dataset.extraction_columns.size(); ++i) {
+        if (i > 0) spec += '+';
+        spec += dataset.extraction_columns[i];
+      }
+    }
+    std::printf("%s\n", spec.c_str());
+    return 0;
+  }
 
   loadgen::WorkloadOptions workload_options;
   workload_options.seed = driver.seed;
@@ -374,10 +427,15 @@ int Run(int argc, char** argv) {
 
   int exit_code = 0;
   if (verify) {
-    size_t mismatches = VerifyAgainstOracle(*result, oracle);
+    size_t mismatches =
+        VerifyAgainstOracle(*result, oracle, flags.Has("allow-disconnect"));
+    const size_t exempt =
+        summary.shed + summary.deadline_exceeded + summary.cancelled;
     std::printf("verify: %zu replies checked against the serial oracle, "
-                "%zu mismatches, %zu sheds exempt\n",
-                summary.attempted - summary.shed, mismatches, summary.shed);
+                "%zu mismatches, %zu exempt (shed=%zu deadline_exceeded=%zu "
+                "cancelled=%zu)\n",
+                summary.attempted - exempt, mismatches, exempt, summary.shed,
+                summary.deadline_exceeded, summary.cancelled);
     if (mismatches > 0) exit_code = 1;
   }
   if (flags.Has("json")) {
@@ -389,9 +447,13 @@ int Run(int argc, char** argv) {
   }
 
   if (server.running()) server.Shutdown();
-  for (const OnDiskDataset& dataset : datasets) {
-    std::remove(dataset.csv_path.c_str());
-    std::remove(dataset.kg_path.c_str());
+  if (data_dir.empty()) {
+    // PID-unique temp files are ours alone; stable --data-dir files stay
+    // (an external daemon may still be serving them).
+    for (const OnDiskDataset& dataset : datasets) {
+      std::remove(dataset.csv_path.c_str());
+      std::remove(dataset.kg_path.c_str());
+    }
   }
   return exit_code;
 }

@@ -1,0 +1,88 @@
+#include "common/cancel.h"
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace mesa {
+
+namespace {
+
+thread_local std::shared_ptr<CancelToken> t_current_token;
+
+// Sampling stride of the checkpoint-overhead distribution: every Nth
+// checked call is timed. Power of two so the test is a mask.
+constexpr uint64_t kOverheadSampleStride = 1024;
+thread_local uint64_t t_check_count = 0;
+
+}  // namespace
+
+uint64_t CancelClockNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::shared_ptr<CancelToken> CancelToken::WithTimeoutMs(uint64_t timeout_ms) {
+  auto token = std::make_shared<CancelToken>();
+  if (timeout_ms > 0) {
+    token->set_deadline_ns(CancelClockNowNs() + timeout_ms * 1000000ULL);
+  }
+  return token;
+}
+
+void CancelToken::TightenDeadlineNs(uint64_t deadline_ns) {
+  if (deadline_ns == 0) return;
+  uint64_t observed = deadline_ns_.load(std::memory_order_relaxed);
+  while (observed == 0 || deadline_ns < observed) {
+    if (deadline_ns_.compare_exchange_weak(observed, deadline_ns,
+                                           std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+Status CancelToken::Check() const {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("request cancelled");
+  }
+  uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && CancelClockNowNs() >= deadline) {
+    return Status::DeadlineExceeded("request deadline exceeded");
+  }
+  return Status::OK();
+}
+
+const std::shared_ptr<CancelToken>& CurrentCancelToken() {
+  return t_current_token;
+}
+
+CancelScope::CancelScope(std::shared_ptr<CancelToken> token)
+    : saved_(std::move(t_current_token)) {
+  t_current_token = std::move(token);
+}
+
+CancelScope::~CancelScope() { t_current_token = std::move(saved_); }
+
+Status CancelCheckStatus() {
+  const std::shared_ptr<CancelToken>& token = t_current_token;
+  if (token == nullptr) return Status::OK();
+  // Sampled overhead readout: time every Nth check end to end. The
+  // sample decision itself is one thread-local increment + mask.
+  if (((++t_check_count) & (kOverheadSampleStride - 1)) == 0) {
+    uint64_t t0 = CancelClockNowNs();
+    Status st = token->Check();
+    uint64_t t1 = CancelClockNowNs();
+    MESA_RECORD("cancel/check_ns", t1 - t0);
+    return st;
+  }
+  return token->Check();
+}
+
+void CancelCheckpoint() {
+  Status st = CancelCheckStatus();
+  if (!st.ok()) throw CancelledError(std::move(st));
+}
+
+}  // namespace mesa

@@ -1,0 +1,129 @@
+#ifndef MESA_COMMON_CANCEL_H_
+#define MESA_COMMON_CANCEL_H_
+
+/// Request-level deadlines and cooperative cancellation.
+///
+/// A `CancelToken` carries an absolute steady-clock deadline and an
+/// explicit cancel flag. The serving layer creates one per request
+/// (`deadline_ms` on the wire, or the daemon's default), installs it
+/// thread-locally with a `CancelScope`, and the thread pool carries it
+/// into workers next to span paths and trace IDs — so every layer of the
+/// explain pipeline observes the same token without plumbing a parameter
+/// through dozens of signatures.
+///
+/// Pipeline code calls `CancelCheckpoint()` at natural unwind points
+/// (morsel boundaries, per-candidate extraction, per-CMI-evaluation,
+/// permutation batches). A checkpoint either returns — having changed
+/// nothing — or throws `CancelledError`, which the `Mesa` public entry
+/// points catch and convert to a `kCancelled` / `kDeadlineExceeded`
+/// Status. Because a checkpoint can only abort-or-continue, a request
+/// that *completes* is byte-identical to one that ran with no token at
+/// all, at any thread count: the determinism contract of
+/// docs/robustness.md is untouched.
+///
+/// Cache safety: every cache on the explain path (QueryAnalysis memos,
+/// the sufficient-statistics cache, the discretizer memo) inserts only
+/// *completed* values, computed outside the cache lock. Checkpoints are
+/// never placed while a cache mutex is held, so an unwinding request
+/// simply doesn't insert — the caches stay valid for the next request.
+///
+/// Thread-safety: tokens are freely shared across threads; all state is
+/// atomic. The thread-local current-token accessors are per-thread.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace mesa {
+
+/// Monotonic wall time in nanoseconds (steady clock; comparable across
+/// threads within the process). Deadlines are absolute values of this
+/// clock — 0 means "no deadline".
+uint64_t CancelClockNowNs();
+
+/// Shared cancellation state of one request. Create via std::make_shared
+/// (the serving layer keeps one reference in its in-flight registry so a
+/// drain can cancel requests it did not start).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Token that expires `timeout_ms` from now (0 = no deadline).
+  static std::shared_ptr<CancelToken> WithTimeoutMs(uint64_t timeout_ms);
+
+  /// Explicit cancel: every subsequent Check() fails with kCancelled.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute steady-clock deadline in ns; 0 = none.
+  uint64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+  void set_deadline_ns(uint64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Moves the deadline *earlier* only (a drain must never extend a
+  /// request's budget). A token with no deadline adopts the new one.
+  void TightenDeadlineNs(uint64_t deadline_ns);
+
+  /// OK while live; Cancelled after Cancel(); DeadlineExceeded once the
+  /// deadline has passed. Explicit cancel wins over an expired deadline.
+  Status Check() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<uint64_t> deadline_ns_{0};
+};
+
+/// The calling thread's current token (nullptr outside any request).
+/// Propagated into pool workers by ThreadPool::Run, like span paths.
+const std::shared_ptr<CancelToken>& CurrentCancelToken();
+
+/// Installs `token` as this thread's current token for a scope.
+class CancelScope {
+ public:
+  explicit CancelScope(std::shared_ptr<CancelToken> token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  std::shared_ptr<CancelToken> saved_;
+};
+
+/// Thrown by CancelCheckpoint(); caught at the Mesa public boundary
+/// (core/mesa.cc) and converted back to its Status. Internal to the
+/// library — it must never escape a public entry point.
+class CancelledError : public std::exception {
+ public:
+  explicit CancelledError(Status status) : status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return "mesa::CancelledError"; }
+
+ private:
+  Status status_;
+};
+
+/// Cooperative cancellation point. No token installed: a thread-local
+/// pointer test, nothing else. Token installed and live: one or two
+/// relaxed atomic loads plus (when a deadline is set) a clock read.
+/// Token cancelled or expired: throws CancelledError carrying the
+/// kCancelled / kDeadlineExceeded status.
+///
+/// Every 1024th *checked* call is timed and recorded into the
+/// "cancel/check_ns" distribution so the snapshot carries the
+/// checkpoint-overhead evidence (docs/observability.md).
+void CancelCheckpoint();
+
+/// Non-throwing form for call sites that already speak Status.
+Status CancelCheckStatus();
+
+}  // namespace mesa
+
+#endif  // MESA_COMMON_CANCEL_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 
 namespace mesa {
@@ -96,10 +97,17 @@ void ThreadPool::Run(size_t num_tasks,
   // caller's own drain() below re-installs its current path, a no-op.
   const std::string trace_path = metrics::CurrentPath();
   const std::string trace_id = metrics::CurrentTraceId();
+  // The caller's cancel token rides along the same way: a checkpoint hit
+  // inside a pool worker unwinds that task, and the stored exception is
+  // rethrown to the caller below (serial lanes above inherit the caller's
+  // thread-local token directly).
+  const std::shared_ptr<CancelToken> cancel_token = CurrentCancelToken();
   const std::function<void(size_t)>* task_ptr = &task;
-  auto drain = [state, task_ptr, num_tasks, trace_path, trace_id] {
+  auto drain = [state, task_ptr, num_tasks, trace_path, trace_id,
+                cancel_token] {
     metrics::PathGuard trace_guard(trace_path);
     metrics::TraceIdGuard trace_id_guard(trace_id);
+    CancelScope cancel_scope(cancel_token);
     for (;;) {
       const size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_tasks) return;

@@ -25,6 +25,9 @@ enum class StatusCode {
   kUnavailable,
   kDeadlineExceeded,
   kResourceExhausted,
+  // The caller explicitly gave up on the request (common/cancel.h). Not
+  // retryable: the cancellation is a decision, not a transient condition.
+  kCancelled,
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the success path
@@ -70,6 +73,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -88,6 +89,7 @@ Result<QueryAnalysis> QueryAnalysis::Prepare(
   ParallelFor(
       0, names.size(),
       [&](size_t ci) {
+        CancelCheckpoint();  // per-candidate preparation checkpoint
         statuses[ci] = [&]() -> Status {
           const std::string& name = names[ci];
           MESA_ASSIGN_OR_RETURN(const Column* col,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "info/contingency.h"
@@ -36,6 +37,7 @@ int NextBestAttribute(const QueryAnalysis& analysis,
       0, candidates.size(),
       [&](size_t k) {
         MESA_SPAN("score_candidate");
+        CancelCheckpoint();  // per-candidate scoring checkpoint
         size_t cand = candidates[k];
         if (std::find(selected.begin(), selected.end(), cand) !=
             selected.end()) {
@@ -92,6 +94,7 @@ Explanation RunMcimr(const QueryAnalysis& analysis,
     if (current_cmi < options.cmi_floor) break;  // fully explained
     MESA_SPAN("round");
     MESA_COUNT("mcimr/rounds");
+    CancelCheckpoint();  // per-round checkpoint
 
     // Pick the best candidate that does not turn the conditioning set into
     // an exposure identifier (Lemma A.2 applied to sets).

@@ -1,5 +1,6 @@
 #include "core/mesa.h"
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 
 #include <algorithm>
@@ -8,6 +9,26 @@
 #include <set>
 
 namespace mesa {
+
+namespace {
+
+// The library's no-exceptions-across-the-public-API contract meets
+// cooperative cancellation here: pipeline checkpoints unwind with
+// CancelledError, and every public Mesa entry point converts it back to
+// its Status (kCancelled / kDeadlineExceeded) before returning. The
+// unwind is state-safe: caches only ever insert completed values
+// computed outside their locks, and Preprocess leaves preprocessed_
+// false so a later request retries from scratch.
+template <typename Fn>
+auto CatchCancel(const Fn& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const CancelledError& e) {
+    return e.status();
+  }
+}
+
+}  // namespace
 
 std::string MesaReport::Summary() const {
   char buf[160];
@@ -74,7 +95,7 @@ Status Mesa::Preprocess() {
   // single-threaded behaviour.
   std::lock_guard<std::mutex> lock(*preprocess_mu_);
   if (preprocessed_) return Status::OK();
-  Status status = PreprocessLocked();
+  Status status = CatchCancel([&] { return PreprocessLocked(); });
   if (status.ok()) preprocessed_ = true;
   return status;
 }
@@ -138,6 +159,7 @@ Result<const Table*> Mesa::augmented_table() {
 }
 
 Result<Mesa::PreparedQuery> Mesa::PrepareQuery(const QuerySpec& query) {
+  return CatchCancel([&]() -> Result<PreparedQuery> {
   MESA_RETURN_IF_ERROR(Preprocess());
   MESA_SPAN("prepare_query");
   PreparedQuery out;
@@ -156,9 +178,11 @@ Result<Mesa::PreparedQuery> Mesa::PrepareQuery(const QuerySpec& query) {
     }
   }
   return out;
+  });
 }
 
 Result<MesaReport> Mesa::Explain(const QuerySpec& query) {
+  return CatchCancel([&]() -> Result<MesaReport> {
   MESA_SPAN("explain");
   MESA_COUNT("mesa/explains");
   MESA_ASSIGN_OR_RETURN(PreparedQuery pq, PrepareQuery(query));
@@ -177,6 +201,7 @@ Result<MesaReport> Mesa::Explain(const QuerySpec& query) {
   report.base_cmi = report.explanation.base_cmi;
   report.final_cmi = report.explanation.final_cmi;
   return report;
+  });
 }
 
 Result<MesaReport> Mesa::ExplainSql(const std::string& sql) {
@@ -186,6 +211,7 @@ Result<MesaReport> Mesa::ExplainSql(const std::string& sql) {
 
 Result<std::vector<Mesa::LinkRelevance>> Mesa::RankLinks(
     const QuerySpec& query) {
+  return CatchCancel([&]() -> Result<std::vector<LinkRelevance>> {
   MESA_RETURN_IF_ERROR(Preprocess());
   std::vector<LinkRelevance> out;
   if (kg_ == nullptr) return out;
@@ -236,11 +262,13 @@ Result<std::vector<Mesa::LinkRelevance>> Mesa::RankLinks(
               return a.best_cmi < b.best_cmi;
             });
   return out;
+  });
 }
 
 Result<std::vector<UnexplainedSubgroup>> Mesa::FindSubgroups(
     const QuerySpec& query, const std::vector<std::string>& explanation,
     SubgroupOptions options) {
+  return CatchCancel([&]() -> Result<std::vector<UnexplainedSubgroup>> {
   MESA_RETURN_IF_ERROR(Preprocess());
   if (options.refinement_attributes.empty()) {
     // Default: categorical columns of the *base* table (the paper refines
@@ -253,6 +281,7 @@ Result<std::vector<UnexplainedSubgroup>> Mesa::FindSubgroups(
     }
   }
   return FindUnexplainedSubgroups(augmented_, query, explanation, options);
+  });
 }
 
 }  // namespace mesa

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "info/info_cache.h"
@@ -93,6 +94,9 @@ IndependenceResult ConditionalIndependenceTest(
   const size_t at_least = ParallelMapReduce<size_t>(
       0, options.num_permutations, 0,
       [&](size_t perm) -> size_t {
+        // Per-permutation cancellation checkpoint: an expired request
+        // aborts here instead of finishing the remaining shuffles.
+        CancelCheckpoint();
         // Per-thread scratch: reset to X each permutation, so the result
         // never depends on which chunk this index landed in.
         thread_local CodedVariable xp;

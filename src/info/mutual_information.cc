@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "info/info_cache.h"
@@ -345,6 +346,7 @@ double MutualInformation(const CodedVariable& x, const CodedVariable& y,
   MESA_CHECK(x.size() == y.size());
   MESA_COUNT("info/mi_evals");
   MESA_SPAN("mi");
+  CancelCheckpoint();  // per-estimator-evaluation checkpoint
   // I(X;Y) = I(X;Y|const); small-cardinality pairs take the dense path.
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
@@ -378,6 +380,7 @@ double ConditionalMutualInformation(const CodedVariable& x,
   MESA_CHECK(x.size() == y.size() && y.size() == z.size());
   MESA_COUNT("info/cmi_evals");
   MESA_SPAN("cmi");
+  CancelCheckpoint();  // per-estimator-evaluation checkpoint
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
   int bz = BitsFor(std::max<int32_t>(1, z.cardinality));

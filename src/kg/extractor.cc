@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "query/join.h"
@@ -293,6 +294,7 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
   EntityLinker linker(&store, options.linker);
   std::vector<ValueSlot> slots(keys.size());
   auto process = [&](size_t i) {
+    CancelCheckpoint();  // per-value extraction checkpoint
     ValueSlot& slot = slots[i];
     LinkResult link = linker.Link(keys[i]);
     if (!link.linked()) {
@@ -335,6 +337,7 @@ Result<Table> ExtractAttributes(const Table& table, const std::string& column,
   // serial path) or a per-value shard.
   std::vector<ValueSlot> slots(keys.size());
   auto process = [&](ResilientKgClient* c, size_t i) {
+    CancelCheckpoint();  // per-value extraction checkpoint
     ValueSlot& slot = slots[i];
     Result<LinkResult> link = c->Resolve(keys[i], options.linker);
     if (!link.ok()) {

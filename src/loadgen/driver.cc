@@ -57,9 +57,10 @@ struct WorkerState {
 }  // namespace
 
 Result<std::unique_ptr<SocketTarget>> SocketTarget::Connect(
-    uint16_t port, const std::string& host) {
+    uint16_t port, const std::string& host,
+    serve::ClientOptions client_options) {
   MESA_ASSIGN_OR_RETURN(std::unique_ptr<serve::Client> client,
-                        serve::Client::Connect(port, host));
+                        serve::Client::Connect(port, host, client_options));
   return std::unique_ptr<SocketTarget>(new SocketTarget(std::move(client)));
 }
 
@@ -77,7 +78,7 @@ Result<RunResult> RunWorkload(const std::vector<WorkloadQuery>& queries,
   std::vector<std::string> request_lines;
   request_lines.reserve(queries.size());
   for (const WorkloadQuery& query : queries) {
-    request_lines.push_back(query.RequestLine());
+    request_lines.push_back(query.RequestLine(options.deadline_ms));
   }
 
   const bool open_loop = options.mode == LoadMode::kOpen;
@@ -207,6 +208,10 @@ Result<RunResult> RunWorkload(const std::vector<WorkloadQuery>& queries,
       ++result.ok;
     } else if (record->code == "resource_exhausted") {
       ++result.shed;
+    } else if (record->code == "deadline_exceeded") {
+      ++result.deadline_exceeded;
+    } else if (record->code == "cancelled") {
+      ++result.cancelled;
     } else {
       ++result.errors;
     }

@@ -55,7 +55,8 @@ class RouterTarget : public RequestTarget {
 class SocketTarget : public RequestTarget {
  public:
   static Result<std::unique_ptr<SocketTarget>> Connect(
-      uint16_t port, const std::string& host = "127.0.0.1");
+      uint16_t port, const std::string& host = "127.0.0.1",
+      serve::ClientOptions client_options = {});
   Result<std::string> Call(const std::string& request_line) override {
     return client_->CallRaw(request_line);
   }
@@ -90,6 +91,10 @@ struct DriverOptions {
   /// Keep reply report/error text in the records (the byte-identity
   /// tests need it; pure throughput runs can skip the copies).
   bool capture_replies = false;
+  /// Per-request deadline attached to every explain request line
+  /// (`deadline_ms` on the wire); 0 sends none — request lines are then
+  /// byte-identical to pre-deadline harness versions.
+  uint64_t deadline_ms = 0;
 };
 
 struct RunResult {
@@ -98,6 +103,8 @@ struct RunResult {
   size_t attempted = 0;
   size_t ok = 0;
   size_t shed = 0;    ///< resource_exhausted replies (admission).
+  size_t deadline_exceeded = 0;  ///< deadline_exceeded replies (cancel).
+  size_t cancelled = 0;          ///< cancelled replies (explicit/drain).
   size_t errors = 0;  ///< other !ok replies + transport failures.
   /// Order-stable checksums (see docs/observability.md): the request
   /// fingerprint covers the request lines in schedule order and depends

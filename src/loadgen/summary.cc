@@ -80,11 +80,19 @@ WorkloadSummary Summarize(const DriverOptions& options,
   summary.attempted = result.attempted;
   summary.ok = result.ok;
   summary.shed = result.shed;
+  summary.deadline_exceeded = result.deadline_exceeded;
+  summary.cancelled = result.cancelled;
   summary.errors = result.errors;
   summary.shed_rate =
       result.attempted == 0
           ? 0.0
           : static_cast<double>(result.shed) /
+                static_cast<double>(result.attempted);
+  summary.deadline_ms = options.deadline_ms;
+  summary.deadline_hit_rate =
+      result.attempted == 0
+          ? 0.0
+          : static_cast<double>(result.deadline_exceeded) /
                 static_cast<double>(result.attempted);
   summary.wall_seconds = result.wall_seconds;
   summary.qps = result.wall_seconds > 0.0
@@ -92,15 +100,25 @@ WorkloadSummary Summarize(const DriverOptions& options,
                           result.wall_seconds
                     : 0.0;
   std::vector<double> ok_latencies_ms;
+  std::vector<double> unwind_ms;
+  const double deadline_budget_ms = static_cast<double>(options.deadline_ms);
   for (const WorkerLog& log : result.logs) {
     for (const LatencyRecord& record : log.records) {
       if (record.ok) {
         ok_latencies_ms.push_back(static_cast<double>(record.duration_ns) /
                                   1e6);
+      } else if (record.code == "deadline_exceeded" &&
+                 deadline_budget_ms > 0.0) {
+        // Client-side unwind latency: how far past the budget the
+        // deadline_exceeded reply arrived.
+        double over_ms =
+            static_cast<double>(record.duration_ns) / 1e6 - deadline_budget_ms;
+        unwind_ms.push_back(over_ms > 0.0 ? over_ms : 0.0);
       }
     }
   }
   summary.latency = ComputeLatencyStats(std::move(ok_latencies_ms));
+  summary.unwind = ComputeLatencyStats(std::move(unwind_ms));
   summary.request_fingerprint = result.request_fingerprint;
   summary.reply_fingerprint = result.reply_fingerprint;
   summary.counter_deltas = std::move(counter_deltas);
@@ -122,6 +140,21 @@ std::string SummaryToText(const WorkloadSummary& summary) {
                 summary.attempted, summary.ok, summary.shed, summary.errors,
                 summary.shed_rate);
   text += buf;
+  if (summary.deadline_ms > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "deadlines: deadline_ms=%" PRIu64
+                  " deadline_exceeded=%zu cancelled=%zu hit_rate=%.3f\n",
+                  summary.deadline_ms, summary.deadline_exceeded,
+                  summary.cancelled, summary.deadline_hit_rate);
+    text += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "unwind ms (past-deadline, client view): p50=%.3f p95=%.3f "
+                  "p99=%.3f mean=%.3f max=%.3f n=%zu\n",
+                  summary.unwind.p50_ms, summary.unwind.p95_ms,
+                  summary.unwind.p99_ms, summary.unwind.mean_ms,
+                  summary.unwind.max_ms, summary.unwind.count);
+    text += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "throughput: %.1f req/s over %.3f s (single-core container "
                 "numbers are overhead readouts, not scaling claims)\n",
@@ -164,9 +197,17 @@ std::string SummaryToJson(const WorkloadSummary& summary) {
                JsonValue::Number(static_cast<double>(summary.attempted)));
   workload.Set("ok", JsonValue::Number(static_cast<double>(summary.ok)));
   workload.Set("shed", JsonValue::Number(static_cast<double>(summary.shed)));
+  workload.Set("deadline_exceeded", JsonValue::Number(static_cast<double>(
+                                        summary.deadline_exceeded)));
+  workload.Set("cancelled",
+               JsonValue::Number(static_cast<double>(summary.cancelled)));
   workload.Set("errors",
                JsonValue::Number(static_cast<double>(summary.errors)));
   workload.Set("shed_rate", JsonValue::Number(summary.shed_rate));
+  workload.Set("deadline_ms",
+               JsonValue::Number(static_cast<double>(summary.deadline_ms)));
+  workload.Set("deadline_hit_rate",
+               JsonValue::Number(summary.deadline_hit_rate));
   workload.Set("wall_seconds", JsonValue::Number(summary.wall_seconds));
   workload.Set("qps", JsonValue::Number(summary.qps));
   JsonValue latency = JsonValue::Object();
@@ -178,6 +219,17 @@ std::string SummaryToJson(const WorkloadSummary& summary) {
   latency.Set("mean", JsonValue::Number(summary.latency.mean_ms));
   latency.Set("max", JsonValue::Number(summary.latency.max_ms));
   workload.Set("latency_ms", std::move(latency));
+  if (summary.deadline_ms > 0) {
+    JsonValue unwind = JsonValue::Object();
+    unwind.Set("count",
+               JsonValue::Number(static_cast<double>(summary.unwind.count)));
+    unwind.Set("p50", JsonValue::Number(summary.unwind.p50_ms));
+    unwind.Set("p95", JsonValue::Number(summary.unwind.p95_ms));
+    unwind.Set("p99", JsonValue::Number(summary.unwind.p99_ms));
+    unwind.Set("mean", JsonValue::Number(summary.unwind.mean_ms));
+    unwind.Set("max", JsonValue::Number(summary.unwind.max_ms));
+    workload.Set("unwind_ms", std::move(unwind));
+  }
   workload.Set("request_fingerprint",
                JsonValue::Str(HexFingerprint(summary.request_fingerprint)));
   workload.Set("reply_fingerprint",

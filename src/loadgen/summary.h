@@ -44,8 +44,18 @@ struct WorkloadSummary {
   size_t attempted = 0;
   size_t ok = 0;
   size_t shed = 0;
+  size_t deadline_exceeded = 0;
+  size_t cancelled = 0;
   size_t errors = 0;
   double shed_rate = 0.0;  ///< shed / attempted.
+  /// The per-request deadline the run carried (0 = none).
+  uint64_t deadline_ms = 0;
+  /// deadline_exceeded / attempted — how often the budget fired.
+  double deadline_hit_rate = 0.0;
+  /// Cancellation-unwind latency over deadline_exceeded replies: how far
+  /// past its deadline each reply arrived (client-side view; bounded by
+  /// the checkpoint spacing plus transport). Empty when no deadlines hit.
+  LatencyStats unwind;
   double wall_seconds = 0.0;
   double qps = 0.0;  ///< attempted / wall_seconds.
   /// Over successful replies only — service latency, not shed latency

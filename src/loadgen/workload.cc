@@ -81,11 +81,15 @@ WorkloadDataset MakeWorkloadDataset(
   return dataset;
 }
 
-std::string WorkloadQuery::RequestLine() const {
+std::string WorkloadQuery::RequestLine(uint64_t deadline_ms) const {
   serve::JsonValue request = serve::JsonValue::Object();
   request.Set("verb", serve::JsonValue::Str("explain"));
   request.Set("dataset", serve::JsonValue::Str(dataset));
   request.Set("sql", serve::JsonValue::Str(sql));
+  if (deadline_ms > 0) {
+    request.Set("deadline_ms",
+                serve::JsonValue::Number(static_cast<double>(deadline_ms)));
+  }
   if (!subgroups.empty()) {
     serve::JsonValue columns = serve::JsonValue::Array();
     for (const std::string& column : subgroups) {

@@ -60,8 +60,10 @@ struct WorkloadQuery {
 
   /// The exact wire request line serve::Client::Explain would send for
   /// this query (field order included), so in-process Router mode and
-  /// real-socket mode drive byte-identical requests.
-  std::string RequestLine() const;
+  /// real-socket mode drive byte-identical requests. `deadline_ms` > 0
+  /// adds the request deadline field; 0 emits the same bytes as before
+  /// deadlines existed, so seeded fingerprints are stable.
+  std::string RequestLine(uint64_t deadline_ms = 0) const;
 };
 
 struct WorkloadOptions {

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -100,6 +101,9 @@ Result<GroupByResult> GroupByAggregate(
   if (n < kGroupByParallelThreshold || !DataPlaneParallel()) {
     std::vector<Value> key(gcols.size());
     for (size_t r = 0; r < n; ++r) {
+      // Cancellation checkpoint at morsel granularity, mirroring the
+      // parallel path (abort-or-continue only; cannot perturb results).
+      if (r % kGroupByMorselRows == 0) CancelCheckpoint();
       if (!mask[r]) continue;
       ++input_rows;
       if (ocol->IsNull(r)) continue;
@@ -130,6 +134,7 @@ Result<GroupByResult> GroupByAggregate(
         (n + kGroupByMorselRows - 1) / kGroupByMorselRows;
     std::vector<MorselBuckets> morsels(num_morsels);
     ParallelFor(0, num_morsels, [&](size_t m) {
+      CancelCheckpoint();
       MorselBuckets& mb = morsels[m];
       const size_t lo = m * kGroupByMorselRows;
       const size_t hi = std::min(n, lo + kGroupByMorselRows);
@@ -158,6 +163,7 @@ Result<GroupByResult> GroupByAggregate(
                kGroupByPartitions>
         parts;
     ParallelFor(0, kGroupByPartitions, [&](size_t p) {
+      CancelCheckpoint();
       auto& part = parts[p];
       std::vector<Value> key(gcols.size());
       for (const MorselBuckets& mb : morsels) {

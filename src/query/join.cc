@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
@@ -40,6 +41,7 @@ Result<JoinIndex> JoinIndex::Build(const Table& right,
   const size_t n = right.num_rows();
   if (n < kJoinParallelThreshold || !DataPlaneParallel()) {
     for (size_t r = 0; r < n; ++r) {
+      if (r % kJoinMorselRows == 0) CancelCheckpoint();
       if (rkey->IsNull(r)) continue;
       auto [it, inserted] =
           index.parts_[KeyPartition(rkey->GetValue(r))].emplace(
@@ -56,6 +58,7 @@ Result<JoinIndex> JoinIndex::Build(const Table& right,
     const size_t num_morsels = (n + kJoinMorselRows - 1) / kJoinMorselRows;
     std::vector<MorselBuckets> morsels(num_morsels);
     ParallelFor(0, num_morsels, [&](size_t m) {
+      CancelCheckpoint();
       MorselBuckets& mb = morsels[m];
       const size_t lo = m * kJoinMorselRows;
       const size_t hi = std::min(n, lo + kJoinMorselRows);
@@ -71,6 +74,7 @@ Result<JoinIndex> JoinIndex::Build(const Table& right,
     // resolves exactly as in the serial loop.
     std::array<size_t, kPartitions> dup_counts{};
     ParallelFor(0, kPartitions, [&](size_t p) {
+      CancelCheckpoint();
       auto& part = index.parts_[p];
       for (const MorselBuckets& mb : morsels) {
         for (uint32_t r : mb.rows[p]) {
@@ -119,6 +123,7 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
     left_rows.reserve(n);
     right_rows.reserve(n);
     for (size_t r = 0; r < n; ++r) {
+      if (r % kJoinMorselRows == 0) CancelCheckpoint();
       int64_t match = lkey->IsNull(r) ? -1 : index.Find(lkey->GetValue(r));
       if (match < 0 && options.type == JoinType::kInner) continue;
       left_rows.push_back(r);
@@ -132,6 +137,7 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
     const size_t num_morsels = (n + kJoinMorselRows - 1) / kJoinMorselRows;
     std::vector<MorselMatches> morsels(num_morsels);
     ParallelFor(0, num_morsels, [&](size_t m) {
+      CancelCheckpoint();
       MorselMatches& mm = morsels[m];
       const size_t lo = m * kJoinMorselRows;
       const size_t hi = std::min(n, lo + kJoinMorselRows);
@@ -188,6 +194,7 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
       kept.size() > 1 && right_rows.size() >= kJoinParallelThreshold &&
       DataPlaneParallel();
   auto gather = [&](size_t k) {
+    CancelCheckpoint();
     const Column& src = right.column(kept[k].first);
     Column& col = gathered[k];
     for (int64_t rr : right_rows) {

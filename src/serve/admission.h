@@ -59,8 +59,9 @@ class AdmissionController {
 
   /// Non-blocking: a permit when under the cap, a !ok() permit otherwise.
   Permit TryAcquire() {
+    const size_t cap = max_inflight_.load(std::memory_order_relaxed);
     size_t observed = in_flight_.load(std::memory_order_relaxed);
-    while (observed < max_inflight_) {
+    while (observed < cap) {
       if (in_flight_.compare_exchange_weak(observed, observed + 1,
                                            std::memory_order_relaxed)) {
         return Permit(this);
@@ -73,12 +74,20 @@ class AdmissionController {
   size_t in_flight() const {
     return in_flight_.load(std::memory_order_relaxed);
   }
-  size_t max_inflight() const { return max_inflight_; }
+  size_t max_inflight() const {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+  /// Runtime cap change. Setting 0 is drain mode: every new explain is
+  /// shed while already-admitted requests keep their permits (permits
+  /// release against in_flight_, never against the cap).
+  void SetMaxInflight(size_t max_inflight) {
+    max_inflight_.store(max_inflight, std::memory_order_relaxed);
+  }
   /// Requests shed so far (monotonic).
   size_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
  private:
-  const size_t max_inflight_;
+  std::atomic<size_t> max_inflight_;
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> shed_{0};
 };

@@ -1,8 +1,10 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,9 +13,36 @@
 
 namespace mesa {
 namespace serve {
+namespace {
+
+/// Waits for `events` on `fd`. timeout_ms 0 = no timeout (returns OK
+/// immediately; the caller's blocking syscall provides the waiting).
+/// A timeout surfaces as kDeadlineExceeded — a daemon that stopped
+/// replying must not hang the client forever (docs/robustness.md).
+Status WaitFd(int fd, short events, uint64_t timeout_ms, const char* what) {
+  if (timeout_ms == 0) return Status::OK();
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  for (;;) {
+    int r = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (r < 0) {
+      if (errno == EINTR) continue;  // restart with the full window
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " timed out after " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    return Status::OK();
+  }
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Client>> Client::Connect(uint16_t port,
-                                                const std::string& host) {
+                                                const std::string& host,
+                                                ClientOptions options) {
   in_addr addr{};
   if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
     return Status::InvalidArgument("bad address '" + host + "'");
@@ -26,8 +55,43 @@ Result<std::unique_ptr<Client>> Client::Connect(uint16_t port,
   server.sin_family = AF_INET;
   server.sin_addr = addr;
   server.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&server), sizeof(server)) !=
-      0) {
+
+  if (options.connect_timeout_ms > 0) {
+    // Bounded connect: non-blocking connect, poll for writability, read
+    // the outcome from SO_ERROR, then return the socket to blocking mode
+    // (reads/writes get their own poll-based bounds).
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&server),
+                       sizeof(server));
+    if (rc != 0 && errno != EINPROGRESS) {
+      Status status = Status::Unavailable("connect " + host + ":" +
+                                          std::to_string(port) + ": " +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (rc != 0) {
+      Status wait =
+          WaitFd(fd, POLLOUT, options.connect_timeout_ms, "connect");
+      if (!wait.ok()) {
+        ::close(fd);
+        return wait;
+      }
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        Status status = Status::Unavailable("connect " + host + ":" +
+                                            std::to_string(port) + ": " +
+                                            std::strerror(err));
+        ::close(fd);
+        return status;
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&server),
+                       sizeof(server)) != 0) {
     Status status = Status::Unavailable("connect " + host + ":" +
                                         std::to_string(port) + ": " +
                                         std::strerror(errno));
@@ -36,7 +100,7 @@ Result<std::unique_ptr<Client>> Client::Connect(uint16_t port,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd));
+  return std::unique_ptr<Client>(new Client(fd, options));
 }
 
 Client::~Client() {
@@ -49,6 +113,8 @@ Result<std::string> Client::CallRaw(const std::string& request_line) {
   const char* data = framed.data();
   size_t size = framed.size();
   while (size > 0) {
+    MESA_RETURN_IF_ERROR(
+        WaitFd(fd_, POLLOUT, options_.write_timeout_ms, "send"));
     ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -65,6 +131,8 @@ Result<std::string> Client::CallRaw(const std::string& request_line) {
       buffer_.erase(0, newline + 1);
       return line;
     }
+    MESA_RETURN_IF_ERROR(
+        WaitFd(fd_, POLLIN, options_.read_timeout_ms, "read reply"));
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
@@ -89,11 +157,17 @@ Result<JsonValue> Client::Call(const JsonValue& request) {
 
 Result<Client::ExplainReply> Client::Explain(
     const std::string& dataset, const std::string& sql,
-    const std::vector<std::string>& subgroups) {
+    const std::vector<std::string>& subgroups, uint64_t deadline_ms) {
   JsonValue request = JsonValue::Object();
   request.Set("verb", JsonValue::Str("explain"));
   request.Set("dataset", JsonValue::Str(dataset));
   request.Set("sql", JsonValue::Str(sql));
+  // Field position matches loadgen::WorkloadQuery::RequestLine so both
+  // senders emit byte-identical request lines for the same query.
+  if (deadline_ms > 0) {
+    request.Set("deadline_ms",
+                JsonValue::Number(static_cast<double>(deadline_ms)));
+  }
   if (!subgroups.empty()) {
     JsonValue cols = JsonValue::Array();
     for (const std::string& col : subgroups) {

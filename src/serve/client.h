@@ -16,12 +16,23 @@
 namespace mesa {
 namespace serve {
 
+/// Transport timeouts. 0 = no timeout (block indefinitely), the
+/// pre-timeout behaviour. A timeout that fires surfaces as
+/// kDeadlineExceeded from the call; the connection is then unusable
+/// (request/reply framing may be mid-line).
+struct ClientOptions {
+  uint64_t connect_timeout_ms = 10000;
+  uint64_t read_timeout_ms = 0;
+  uint64_t write_timeout_ms = 0;
+};
+
 class Client {
  public:
   /// Connects to a daemon on localhost.
   static Result<std::unique_ptr<Client>> Connect(uint16_t port,
                                                  const std::string& host =
-                                                     "127.0.0.1");
+                                                     "127.0.0.1",
+                                                 ClientOptions options = {});
   ~Client();
 
   Client(const Client&) = delete;
@@ -52,10 +63,13 @@ class Client {
 
   /// explain verb. `subgroups` optionally names refinement attributes
   /// (appends the subgroup section to the report, as `mesa_cli
-  /// --subgroups` does).
+  /// --subgroups` does). `deadline_ms` > 0 asks the daemon to abandon
+  /// the request once that budget elapses server-side (the reply then
+  /// carries code "deadline_exceeded"); 0 sends no deadline field.
   Result<ExplainReply> Explain(const std::string& dataset,
                                const std::string& sql,
-                               const std::vector<std::string>& subgroups = {});
+                               const std::vector<std::string>& subgroups = {},
+                               uint64_t deadline_ms = 0);
 
   /// status verb: the raw reply object.
   Result<JsonValue> GetStatus();
@@ -68,9 +82,10 @@ class Client {
   Status Shutdown();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
+  Client(int fd, ClientOptions options) : fd_(fd), options_(options) {}
 
   int fd_;
+  ClientOptions options_;
   std::string buffer_;  ///< bytes past the last reply line.
 };
 

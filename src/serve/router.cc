@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/cancel.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "core/report_format.h"
@@ -37,6 +39,7 @@ const char* WireCode(StatusCode code) {
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "internal";
 }
@@ -97,6 +100,37 @@ class Router::RequestScope {
   metrics::PathGuard path_guard_;
   uint64_t start_ns_;
   bool ok_ = false;
+};
+
+/// RAII entry in the in-flight registry: registers the request's cancel
+/// token on admission so a drain (CancelInflight) or the stuck-request
+/// watchdog (ScanStuck) can reach requests they did not start, and
+/// removes it on any unwind — reply, error, or cancellation alike.
+class Router::InflightRegistration {
+ public:
+  InflightRegistration(Router* router, const std::string& trace_id,
+                       std::shared_ptr<CancelToken> token)
+      : router_(router) {
+    Inflight entry;
+    entry.trace_id = trace_id;
+    entry.token = std::move(token);
+    entry.start_ns = NowNanos();
+    std::lock_guard<std::mutex> lock(router_->inflight_mu_);
+    id_ = router_->inflight_seq_++;
+    router_->inflight_.emplace(id_, std::move(entry));
+  }
+
+  ~InflightRegistration() {
+    std::lock_guard<std::mutex> lock(router_->inflight_mu_);
+    router_->inflight_.erase(id_);
+  }
+
+  InflightRegistration(const InflightRegistration&) = delete;
+  InflightRegistration& operator=(const InflightRegistration&) = delete;
+
+ private:
+  Router* router_;
+  uint64_t id_ = 0;
 };
 
 Router::Router(RouterOptions options)
@@ -238,18 +272,54 @@ Router::HandleResult Router::HandleExplain(const JsonValue& request,
   }
   MESA_COUNT("serve/admission/accepted");
 
+  // Deadline: the request's own `deadline_ms` wins over the daemon
+  // default. The token is charged from this point, so time spent inside
+  // the daemon (parse, analysis, execution) all counts against the
+  // budget; pipeline checkpoints (common/cancel.h) do the enforcement.
+  // A request with no deadline still gets a token — a drain cancels it
+  // through the in-flight registry.
+  uint64_t deadline_ms =
+      static_cast<uint64_t>(request.GetNumber("deadline_ms", 0.0));
+  if (deadline_ms == 0) deadline_ms = options_.default_deadline_ms;
+  std::shared_ptr<CancelToken> token = CancelToken::WithTimeoutMs(deadline_ms);
+
   RequestScope scope(trace_id, "serve/explain");
+  CancelScope cancel_scope(token);
+  InflightRegistration registration(this, trace_id, token);
+  if (explain_hook_) explain_hook_();
+
+  // Every failure unwinds through here. Cancellation outcomes get their
+  // own counters; the deadline bucket is gated on the *token* having
+  // expired so a KG retry-budget DeadlineExceeded (docs/robustness.md)
+  // is not mistaken for a request deadline.
+  auto fail = [&](const Status& status) -> HandleResult {
+    const uint64_t token_deadline = token->deadline_ns();
+    if (status.code() == StatusCode::kCancelled) {
+      MESA_COUNT("serve/cancelled");
+    } else if (status.code() == StatusCode::kDeadlineExceeded &&
+               token_deadline != 0 && !token->Check().ok()) {
+      MESA_COUNT("serve/deadline_exceeded");
+      const uint64_t now = CancelClockNowNs();
+      if (now > token_deadline) {
+        // Unwind latency: deadline firing -> error reply ready. The
+        // bound the checkpoints buy (docs/robustness.md).
+        MESA_RECORD("serve/unwind_ns", now - token_deadline);
+      }
+    } else {
+      MESA_COUNT("serve/errors");
+    }
+    return {StatusErrorLine(trace_id, "explain", status), false};
+  };
+
+  // Fast unwind for requests that arrived already expired (or were
+  // cancelled by a drain while the hook held them).
+  Status early = token->Check();
+  if (!early.ok()) return fail(early);
 
   Result<QuerySpec> query = ParseQuery(sql);
-  if (!query.ok()) {
-    MESA_COUNT("serve/errors");
-    return {StatusErrorLine(trace_id, "explain", query.status()), false};
-  }
+  if (!query.ok()) return fail(query.status());
   Result<MesaReport> report = dataset->mesa->Explain(*query);
-  if (!report.ok()) {
-    MESA_COUNT("serve/errors");
-    return {StatusErrorLine(trace_id, "explain", report.status()), false};
-  }
+  if (!report.ok()) return fail(report.status());
 
   // Render exactly what `mesa_cli explain [--subgroups ...]` prints, so
   // daemon replies stay byte-comparable to one-shot goldens.
@@ -267,10 +337,7 @@ Router::HandleResult Router::HandleExplain(const JsonValue& request,
     Result<std::vector<UnexplainedSubgroup>> groups =
         dataset->mesa->FindSubgroups(*query,
                                      report->explanation.attribute_names, sg);
-    if (!groups.ok()) {
-      MESA_COUNT("serve/errors");
-      return {StatusErrorLine(trace_id, "explain", groups.status()), false};
-    }
+    if (!groups.ok()) return fail(groups.status());
     text += FormatSubgroups(*groups);
   }
 
@@ -295,6 +362,48 @@ Router::HandleResult Router::HandleExplain(const JsonValue& request,
             JsonValue::Number(
                 static_cast<double>(report->extraction.values_failed)));
   return {reply.Serialize(), false};
+}
+
+size_t Router::inflight_requests() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_.size();
+}
+
+size_t Router::CancelInflight(uint64_t deadline_ns) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  for (auto& [id, entry] : inflight_) {
+    (void)id;
+    entry.token->TightenDeadlineNs(deadline_ns);
+  }
+  MESA_COUNT_N("serve/drain_cancelled", inflight_.size());
+  return inflight_.size();
+}
+
+size_t Router::ScanStuck(uint64_t now_ns, double multiplier) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  size_t flagged = 0;
+  for (auto& [id, entry] : inflight_) {
+    (void)id;
+    if (entry.stuck_logged) continue;
+    const uint64_t deadline = entry.token->deadline_ns();
+    // No deadline means no budget to exceed; a deadline at/before the
+    // start is a drain artifact, not a budget.
+    if (deadline == 0 || deadline <= entry.start_ns) continue;
+    if (now_ns <= entry.start_ns) continue;
+    const uint64_t budget_ns = deadline - entry.start_ns;
+    const uint64_t elapsed_ns = now_ns - entry.start_ns;
+    if (static_cast<double>(elapsed_ns) >
+        multiplier * static_cast<double>(budget_ns)) {
+      entry.stuck_logged = true;
+      ++flagged;
+      MESA_COUNT("serve/stuck_requests");
+      MESA_LOG(Warning) << "stuck request " << entry.trace_id << ": "
+                        << elapsed_ns / 1000000 << " ms elapsed against a "
+                        << budget_ns / 1000000
+                        << " ms deadline budget and still not unwinding";
+    }
+  }
+  return flagged;
 }
 
 Router::HandleResult Router::HandleStatus(const std::string& trace_id) {

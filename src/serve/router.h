@@ -15,11 +15,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/mesa.h"
 #include "kg/triple_store.h"
 #include "serve/admission.h"
@@ -32,6 +35,11 @@ struct RouterOptions {
   /// Cap on concurrently executing explain requests; excess requests are
   /// shed with a fast resource_exhausted reply (never queued).
   size_t max_inflight = 4;
+  /// Deadline charged to explain requests that carry no `deadline_ms`
+  /// field of their own; 0 = no default deadline. The deadline covers
+  /// everything from request receipt to reply (admission + parse +
+  /// execution), enforced through common/cancel.h checkpoints.
+  uint64_t default_deadline_ms = 0;
 };
 
 /// One resident dataset: the owned knowledge graph (if any) and the Mesa
@@ -88,8 +96,44 @@ class Router {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Number of admitted explain requests currently executing (the
+  /// in-flight registry's size; a superset check of admission permits —
+  /// every registered request holds one).
+  size_t inflight_requests() const;
+
+  /// Drain support: tightens every in-flight request's cancel token to
+  /// `deadline_ns` (absolute steady-clock ns; see common/cancel.h), so
+  /// each unwinds at its next checkpoint and replies cancelled /
+  /// deadline_exceeded. Returns how many requests were told to stop
+  /// (counted in `serve/drain_cancelled`).
+  size_t CancelInflight(uint64_t deadline_ns);
+
+  /// Stuck-request watchdog scan: a request whose elapsed time exceeds
+  /// `multiplier` times its deadline budget without unwinding is logged
+  /// and counted (`serve/stuck_requests`), once per request. `now_ns` is
+  /// explicit so tests can drive the scan deterministically. Requests
+  /// with no deadline are never stuck. Returns newly-flagged requests.
+  size_t ScanStuck(uint64_t now_ns, double multiplier);
+
+  /// Test-only: invoked inside every admitted explain request — permit
+  /// held, in-flight registry entry live, CancelScope installed — so
+  /// tests can hold requests in flight and observe drain / watchdog
+  /// behaviour deterministically.
+  void set_explain_hook(std::function<void()> hook) {
+    explain_hook_ = std::move(hook);
+  }
+
  private:
   class RequestScope;
+  class InflightRegistration;
+
+  /// One admitted explain currently executing.
+  struct Inflight {
+    std::string trace_id;
+    std::shared_ptr<CancelToken> token;
+    uint64_t start_ns = 0;
+    bool stuck_logged = false;  ///< watchdog flagged it already.
+  };
 
   const ResidentDataset* FindDataset(const std::string& name) const;
   std::string NextTraceId();
@@ -105,6 +149,11 @@ class Router {
   std::vector<std::string> names_;  ///< insertion order, for status.
   std::atomic<uint64_t> trace_seq_{0};
   std::atomic<uint64_t> requests_{0};
+  std::function<void()> explain_hook_;  ///< test-only, set before serving.
+
+  mutable std::mutex inflight_mu_;
+  uint64_t inflight_seq_ = 0;               ///< guarded by inflight_mu_.
+  std::map<uint64_t, Inflight> inflight_;   ///< guarded by inflight_mu_.
 };
 
 }  // namespace serve

@@ -11,11 +11,17 @@
 #include <cstring>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/metrics.h"
 
 namespace mesa {
 namespace serve {
 namespace {
+
+/// Extra time Drain waits past the budget for in-flight requests to
+/// actually unwind: a cancelled explain still has to reach its next
+/// checkpoint and write the error reply.
+constexpr uint64_t kDrainGraceNs = 500'000'000;  // 500 ms
 
 /// Writes all of `data` to `fd`, riding out EINTR and partial writes.
 bool WriteAll(int fd, const char* data, size_t size) {
@@ -148,6 +154,14 @@ void Server::AcceptLoop() {
   }
 }
 
+bool Server::AnyConnectionBusy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& connection : connections_) {
+    if (connection->busy.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
 std::vector<std::unique_ptr<Server::Connection>> Server::ExtractFinished() {
   // Caller holds mu_. Moves done connections out of connections_ for the
   // caller to join and close after releasing the lock; live connections
@@ -202,16 +216,17 @@ void Server::HandleConnection(Connection* connection) {
         if (!oversized_reply()) goto done;
         continue;
       }
+      connection->busy.store(true, std::memory_order_release);
       Router::HandleResult result = router_->Handle(line);
       result.reply_line += '\n';
       // Record the accepted shutdown before the write: a client that sends
       // `shutdown` and disconnects without reading the reply must still
       // bring the daemon down (the router already replied shutting_down).
       if (result.shutdown) request_shutdown = true;
-      if (!WriteAll(fd, result.reply_line.data(), result.reply_line.size()) ||
-          request_shutdown) {
-        goto done;
-      }
+      const bool wrote =
+          WriteAll(fd, result.reply_line.data(), result.reply_line.size());
+      connection->busy.store(false, std::memory_order_release);
+      if (!wrote || request_shutdown) goto done;
     }
 
     if (!discarding && buffer.size() > options_.max_line_bytes) {
@@ -252,6 +267,52 @@ void Server::Wait() {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
   }
+  Shutdown();
+}
+
+void Server::Drain(uint64_t budget_ms) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  MESA_COUNT("serve/drain_started");
+  const uint64_t start_ns = CancelClockNowNs();
+
+  // Stop the accept loop WITHOUT waking Wait(): shutting the listening
+  // socket down fails the blocked accept, and with running_ still true
+  // the loop exits instead of retrying — new connections are refused
+  // while live handlers keep their sockets (their in-flight replies must
+  // still be delivered, which a full Shutdown here would forfeit).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+
+  // Shed every explain that has not been admitted yet.
+  router_->admission().SetMaxInflight(0);
+
+  // Give in-flight explains the drain budget: each token's deadline is
+  // tightened (never extended), so a request either completes inside the
+  // budget or unwinds at its next cancellation checkpoint.
+  const uint64_t deadline_ns = start_ns + budget_ms * 1'000'000ULL;
+  router_->CancelInflight(deadline_ns);
+
+  bool clean = false;
+  const uint64_t give_up_ns = deadline_ns + kDrainGraceNs;
+  for (;;) {
+    // Both conditions matter: a request leaves the in-flight registry
+    // before its handler writes the reply, and the busy flag covers that
+    // tail so teardown never severs a reply in flight.
+    if (router_->inflight_requests() == 0 && !AnyConnectionBusy()) {
+      clean = true;
+      break;
+    }
+    if (CancelClockNowNs() >= give_up_ns) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (clean) {
+    MESA_COUNT("serve/drain_clean");
+  } else {
+    MESA_COUNT("serve/drain_timeout");
+  }
+  MESA_RECORD("serve/drain_ns", CancelClockNowNs() - start_ns);
+
+  // Full teardown (idempotent). A request that outlived even the grace
+  // period is still cancelled — its handler joins at the next checkpoint.
   Shutdown();
 }
 

@@ -69,11 +69,28 @@ class Server {
   /// handler (handlers request shutdown via the protocol instead).
   void Shutdown();
 
+  /// Graceful drain — the SIGTERM/SIGINT path (docs/robustness.md).
+  /// Stops accepting new connections, sheds every not-yet-admitted
+  /// explain (admission cap 0), tightens every in-flight explain's
+  /// cancel token to now + `budget_ms` so each finishes in time (reply
+  /// delivered as usual) or unwinds at its next checkpoint, waits a
+  /// bounded time for the in-flight registry to empty, then tears down
+  /// like Shutdown(). Counters: serve/drain_started, serve/drain_clean /
+  /// serve/drain_timeout, serve/drain_ns (and serve/drain_cancelled via
+  /// the router). Safe from any thread except a connection handler.
+  void Drain(uint64_t budget_ms);
+
  private:
   struct Connection {
     int fd = -1;
     std::thread thread;
     std::atomic<bool> done{false};
+    /// True while the handler is between taking a request line and
+    /// finishing the reply write. Drain waits for this as well as the
+    /// router's in-flight registry: a request leaves the registry before
+    /// its reply hits the socket, and tearing the socket down in that
+    /// window would drop a reply the drain contract promises to deliver.
+    std::atomic<bool> busy{false};
   };
 
   void AcceptLoop();
@@ -84,6 +101,8 @@ class Server {
   /// accumulate dead threads and a handler blocked on mu_ can never
   /// deadlock against its joiner.
   std::vector<std::unique_ptr<Connection>> ExtractFinished();
+  /// True if any live connection is mid-request (busy flag set).
+  bool AnyConnectionBusy();
   void RequestShutdown();
 
   Router* router_;

@@ -16,13 +16,26 @@
 // (also written to --port-file FILE as the bare port number, for harnesses
 // that cannot scrape stdout).
 //
-// Exit codes: 0 clean shutdown, 1 usage error, 2 startup error.
+// SIGTERM / SIGINT trigger a graceful drain (docs/robustness.md): stop
+// accepting, shed new explains, give in-flight explains --drain-budget-ms
+// to finish or unwind at a cancellation checkpoint, then exit 0.
+//
+// Exit codes: 0 clean shutdown (including drain), 1 usage error,
+// 2 startup error.
 
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/mesa.h"
@@ -53,6 +66,19 @@ int Usage() {
                             "seed=7;fail_keys=0.5" (see docs/robustness.md)
       [--min-coverage F]    fail explains whose KG extraction coverage
                             falls below this fraction (default 0)
+      [--default-deadline-ms N]
+                            deadline charged to explain requests that
+                            carry no deadline_ms field (default 0 = none)
+      [--drain-budget-ms N] how long a SIGTERM/SIGINT drain lets
+                            in-flight explains finish before forcing
+                            them to unwind (default 2000)
+      [--watchdog-interval-ms N]
+                            stuck-request scan period (default 1000;
+                            0 disables the watchdog)
+      [--watchdog-multiplier F]
+                            log + count a request as stuck once its
+                            elapsed time exceeds F x its deadline
+                            budget (default 3.0)
 )");
   return 1;
 }
@@ -139,6 +165,16 @@ bool ParseDataSpec(const std::string& spec, serve::Router::DatasetSpec* out,
 }
 
 int Main(int argc, char** argv) {
+  // Block SIGTERM/SIGINT before any thread exists: every thread inherits
+  // the mask, so the signals only ever land in the dedicated sigwait
+  // thread below, which runs the graceful drain. Installing an async
+  // handler instead would restrict the drain to async-signal-safe calls.
+  sigset_t drain_signals;
+  sigemptyset(&drain_signals);
+  sigaddset(&drain_signals, SIGTERM);
+  sigaddset(&drain_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &drain_signals, nullptr);
+
   Flags flags(argc, argv, 1);
   if (!flags.error().empty()) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
@@ -172,6 +208,8 @@ int Main(int argc, char** argv) {
   serve::RouterOptions router_options;
   router_options.max_inflight =
       static_cast<size_t>(flags.GetInt("max-inflight", 4));
+  router_options.default_deadline_ms =
+      static_cast<uint64_t>(flags.GetInt("default-deadline-ms", 0));
   serve::Router router(router_options);
 
   for (const std::string& spec_text : Split(data, ';')) {
@@ -236,7 +274,65 @@ int Main(int argc, char** argv) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
-  server.Wait();  // returns after a client's shutdown request.
+  // Signal thread: consumes the first SIGTERM/SIGINT and drains. The
+  // signals are process-blocked, so sigwait is the only consumer.
+  const uint64_t drain_budget_ms =
+      static_cast<uint64_t>(flags.GetInt("drain-budget-ms", 2000));
+  std::atomic<bool> exiting{false};
+  std::thread signal_thread([&] {
+    int sig = 0;
+    if (sigwait(&drain_signals, &sig) != 0) return;
+    if (exiting.load(std::memory_order_acquire)) return;
+    std::fprintf(stderr,
+                 "mesa_serve: %s received, draining (budget %llu ms)\n",
+                 sig == SIGINT ? "SIGINT" : "SIGTERM",
+                 static_cast<unsigned long long>(drain_budget_ms));
+    server.Drain(drain_budget_ms);
+  });
+
+  // Stuck-request watchdog: periodically flags in-flight explains that
+  // blew far past their deadline without unwinding (a checkpoint gap or
+  // a wedged dependency — see docs/robustness.md).
+  const uint64_t watchdog_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("watchdog-interval-ms", 1000));
+  double watchdog_multiplier = 3.0;
+  if (flags.Has("watchdog-multiplier") &&
+      (!ParseDouble(flags.Get("watchdog-multiplier"), &watchdog_multiplier) ||
+       watchdog_multiplier <= 0.0)) {
+    std::fprintf(stderr, "--watchdog-multiplier must be a positive number\n");
+    server.Shutdown();
+    exiting.store(true, std::memory_order_release);
+    ::kill(::getpid(), SIGTERM);
+    signal_thread.join();
+    return 1;
+  }
+  std::atomic<bool> stop_watchdog{false};
+  std::thread watchdog_thread;
+  if (watchdog_interval_ms > 0) {
+    watchdog_thread = std::thread([&] {
+      uint64_t slept_ms = 0;
+      while (!stop_watchdog.load(std::memory_order_acquire)) {
+        // Sleep in small slices so shutdown never waits a full interval.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        slept_ms += 20;
+        if (slept_ms < watchdog_interval_ms) continue;
+        slept_ms = 0;
+        router.ScanStuck(CancelClockNowNs(), watchdog_multiplier);
+      }
+    });
+  }
+
+  server.Wait();  // returns after a shutdown request or a drain.
+
+  // Unblock the signal thread if no signal ever arrived (client-driven
+  // shutdown): mark the exit first, then post a process-directed SIGTERM
+  // for sigwait to consume. If the drain already consumed a real signal,
+  // the extra one stays blocked-pending and dies with the process.
+  exiting.store(true, std::memory_order_release);
+  ::kill(::getpid(), SIGTERM);
+  signal_thread.join();
+  stop_watchdog.store(true, std::memory_order_release);
+  if (watchdog_thread.joinable()) watchdog_thread.join();
   return 0;
 }
 
