@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Checks that measured tables in the docs carry bench provenance.
+
+Usage: scripts/check_docs_drift.py [FILE.md ...]
+       (defaults to docs/performance.md relative to the repo root)
+
+Numbers in the docs drift silently: someone reworks a bench, the table
+it fed keeps quoting the old run, and nothing fails. This guard makes
+the link explicit and machine-checked. Every markdown table in the
+checked files must be immediately preceded (blank lines allowed) by a
+provenance comment, one of:
+
+  <!-- bench: TARGET optional free-text on how to read the output -->
+  <!-- nobench: why this table is not a measurement -->
+
+and every `bench:` marker — adjacent to a table or not — must name a
+bench target actually declared in bench/CMakeLists.txt, so renaming or
+deleting a bench without updating the docs fails CI (the docs-links
+job runs this next to the link checker). Exit code is the number of
+violations.
+"""
+
+import os
+import re
+import sys
+
+MARKER = re.compile(r"<!--\s*(bench|nobench):\s*(.*?)\s*-->")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+# A table is a header row followed by a |---| separator row.
+TABLE_SEPARATOR = re.compile(r"^\s*\|?[\s:|-]+\|[\s:|-]*$")
+
+
+def bench_targets(repo_root):
+    """Every add_executable'd bench target in bench/CMakeLists.txt."""
+    path = os.path.join(repo_root, "bench", "CMakeLists.txt")
+    with open(path, encoding="utf-8") as f:
+        body = f.read()
+    # Target names appear bare (in set() lists and foreach()); sources
+    # appear as NAME.cc — the \b(?!\.cc) keeps those out.
+    return set(re.findall(r"\b(bench_\w+)\b(?!\.cc)", body))
+
+
+def check_file(md_path, targets):
+    with open(md_path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    errors = []
+    in_fence = False
+    for i, line in enumerate(lines):
+        if CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+
+        marker = MARKER.search(line)
+        if marker and marker.group(1) == "bench":
+            name = marker.group(2).split()[0] if marker.group(2) else ""
+            if name not in targets:
+                errors.append(
+                    f"{md_path}:{i + 1}: bench marker names '{name}', "
+                    "which is not a target in bench/CMakeLists.txt")
+            continue
+
+        # Table header: a '|' line whose next line is the separator row.
+        if (line.lstrip().startswith("|") and i + 1 < len(lines)
+                and TABLE_SEPARATOR.match(lines[i + 1])
+                and "|" in lines[i + 1]):
+            # Walk upward past blank lines to the provenance comment.
+            j = i - 1
+            while j >= 0 and not lines[j].strip():
+                j -= 1
+            if j < 0 or not MARKER.search(lines[j]):
+                errors.append(
+                    f"{md_path}:{i + 1}: table has no provenance marker — "
+                    "precede it with <!-- bench: TARGET ... --> or "
+                    "<!-- nobench: reason -->")
+    return errors
+
+
+def main():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    args = sys.argv[1:] or [os.path.join(repo_root, "docs", "performance.md")]
+    targets = bench_targets(repo_root)
+    errors = []
+    for md in args:
+        errors += check_file(md, targets)
+    for e in errors:
+        print(e)
+    print(f"checked {len(args)} files against {len(targets)} bench targets: "
+          f"{'OK' if not errors else f'{len(errors)} drift violations'}")
+    return min(len(errors), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

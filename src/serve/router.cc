@@ -11,6 +11,7 @@
 #include "core/report_format.h"
 #include "kg/serialization.h"
 #include "query/sql_parser.h"
+#include "snapshot/reader.h"
 #include "table/csv.h"
 
 namespace mesa {
@@ -144,23 +145,54 @@ Status Router::AddDataset(const DatasetSpec& spec) {
     return Status::AlreadyExists("dataset '" + spec.name +
                                  "' already resident");
   }
-  MESA_ASSIGN_OR_RETURN(Table table, ReadCsvFile(spec.csv_path));
+  if (spec.csv_path.empty() == spec.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "dataset '" + spec.name +
+        "' needs exactly one of csv_path / snapshot_path");
+  }
 
   ResidentDataset dataset;
   dataset.name = spec.name;
-  dataset.csv_path = spec.csv_path;
-  dataset.rows = table.num_rows();
-  dataset.columns = table.num_columns();
-  if (!spec.kg_path.empty()) {
-    MESA_ASSIGN_OR_RETURN(TripleStore kg, ReadKgFile(spec.kg_path));
-    dataset.kg = std::make_unique<TripleStore>(std::move(kg));
-    if (spec.extraction_columns.empty()) {
-      return Status::InvalidArgument("dataset '" + spec.name +
-                                     "' has a KG but no extraction columns");
+  Table table;
+  std::vector<std::string> extraction_columns = spec.extraction_columns;
+  if (!spec.snapshot_path.empty()) {
+    if (!spec.kg_path.empty()) {
+      return Status::InvalidArgument(
+          "dataset '" + spec.name +
+          "' is a snapshot; it carries its own KG (kg_path must be empty)");
+    }
+    MESA_ASSIGN_OR_RETURN(snapshot::SnapshotReader reader,
+                          snapshot::SnapshotReader::Open(spec.snapshot_path));
+    MESA_ASSIGN_OR_RETURN(table, reader.ReadTable());
+    if (reader.has_kg()) {
+      MESA_ASSIGN_OR_RETURN(std::shared_ptr<TripleStore> kg, reader.ReadKg());
+      dataset.kg = std::make_unique<TripleStore>(std::move(*kg));
+      if (extraction_columns.empty()) {
+        extraction_columns = reader.extraction_columns();
+      }
+      if (extraction_columns.empty()) {
+        return Status::InvalidArgument(
+            "dataset '" + spec.name +
+            "' snapshot has a KG but no extraction columns");
+      }
+    }
+    dataset.source_path = spec.snapshot_path;
+  } else {
+    MESA_ASSIGN_OR_RETURN(table, ReadCsvFile(spec.csv_path));
+    dataset.source_path = spec.csv_path;
+    if (!spec.kg_path.empty()) {
+      MESA_ASSIGN_OR_RETURN(TripleStore kg, ReadKgFile(spec.kg_path));
+      dataset.kg = std::make_unique<TripleStore>(std::move(kg));
+      if (extraction_columns.empty()) {
+        return Status::InvalidArgument("dataset '" + spec.name +
+                                       "' has a KG but no extraction columns");
+      }
     }
   }
+  dataset.rows = table.num_rows();
+  dataset.columns = table.num_columns();
   dataset.mesa = std::make_unique<Mesa>(std::move(table), dataset.kg.get(),
-                                        spec.extraction_columns, spec.options);
+                                        extraction_columns, spec.options);
   names_.push_back(spec.name);
   datasets_.emplace(spec.name, std::move(dataset));
   return Status::OK();

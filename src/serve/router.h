@@ -46,7 +46,7 @@ struct RouterOptions {
 /// instance answering queries over it.
 struct ResidentDataset {
   std::string name;
-  std::string csv_path;
+  std::string source_path;          ///< the CSV or .msnap it was loaded from.
   std::unique_ptr<TripleStore> kg;  ///< owned; Mesa holds a raw pointer.
   std::unique_ptr<Mesa> mesa;
   size_t rows = 0;
@@ -59,15 +59,19 @@ class Router {
 
   struct DatasetSpec {
     std::string name;
+    /// Either a CSV (+ optional kg_path) or a binary snapshot — exactly
+    /// one of csv_path / snapshot_path must be set. A snapshot carries
+    /// its own KG and extraction column list (src/snapshot/reader.h).
     std::string csv_path;
+    std::string snapshot_path;
     std::string kg_path;  ///< empty = no knowledge graph (HypDB regime).
     std::vector<std::string> extraction_columns;
     MesaOptions options;
   };
 
-  /// Loads the CSV (+ KG) from disk and builds the resident Mesa —
-  /// exactly the load path `mesa_cli explain` takes, so daemon replies
-  /// are byte-identical to one-shot runs over the same files.
+  /// Loads the CSV (+ KG) or snapshot from disk and builds the resident
+  /// Mesa — exactly the load paths `mesa_cli explain` takes, so daemon
+  /// replies are byte-identical to one-shot runs over the same files.
   Status AddDataset(const DatasetSpec& spec);
 
   /// Preprocesses every resident dataset now (extraction, offline

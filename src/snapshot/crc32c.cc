@@ -1,0 +1,37 @@
+#include "snapshot/crc32c.h"
+
+namespace mesa {
+namespace snapshot {
+namespace {
+
+/// 256-entry lookup table for the reflected Castagnoli polynomial,
+/// generated once at first use (thread-safe via static-local init).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+}  // namespace snapshot
+}  // namespace mesa

@@ -1,0 +1,149 @@
+#ifndef MESA_SNAPSHOT_FORMAT_H_
+#define MESA_SNAPSHOT_FORMAT_H_
+
+/// On-disk constants and structs of the `mesa-snapshot v1` binary
+/// container ("msnap"). The byte-level specification lives in
+/// docs/snapshot_format.md; this header is its code mirror — any change
+/// here is a format change and must bump `kVersion` and the spec
+/// together.
+///
+/// Layout invariants (enforced by the reader, relied on by zero-copy
+/// column views):
+///  - everything is little-endian; readers on big-endian hosts refuse.
+///  - every section starts at a file offset that is a multiple of 8 and
+///    is zero-padded up to the next multiple of 8.
+///  - fixed-width payload arrays (f64 / i64 / u32 / u8) start at their
+///    section's offset, so 8-alignment of the section aligns them.
+///  - the section table sits after every section; the fixed-size footer
+///    is the last 40 bytes of the file and locates the table.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesa {
+namespace snapshot {
+
+/// "MESASNAP" read as a little-endian u64.
+inline constexpr uint64_t kMagic = 0x50414E534153454DULL;
+/// "PANSASEM" — the reversed spelling closes the file.
+inline constexpr uint64_t kFooterMagic = 0x4D455341534E4150ULL;
+/// Current (and only) format version. Readers hard-reject any other
+/// value — forward compatibility is explicitly *not* attempted.
+inline constexpr uint32_t kVersion = 1;
+
+/// Section payload alignment; also the granularity of inter-section
+/// zero padding.
+inline constexpr uint64_t kAlignment = 8;
+
+/// File-leading header.
+struct Header {
+  uint64_t magic;    ///< kMagic
+  uint32_t version;  ///< kVersion; any other value is rejected.
+  uint32_t flags;    ///< reserved, must be 0.
+};
+static_assert(sizeof(Header) == 16, "on-disk struct must stay packed");
+
+/// Section kinds. `arg` in the table entry carries the column index for
+/// per-column kinds and is 0 otherwise. Unknown kinds are rejected (a
+/// new kind is a format change and bumps kVersion).
+enum class SectionKind : uint32_t {
+  kTableMeta = 1,         ///< TableMeta struct.
+  kSchema = 2,            ///< string list: field names (types in kColumnMeta).
+  kColumnMeta = 3,        ///< ColumnMeta struct (arg = column).
+  kColumnValidity = 4,    ///< u8[rows] (arg = column).
+  kColumnPayload = 5,     ///< f64[rows] | i64[rows] | u8[rows] (arg = column).
+  kColumnDictCodes = 6,   ///< u32[rows] dictionary codes (arg = column).
+  kColumnDict = 7,        ///< string list: the column's dictionary (arg = column).
+  kExtractionColumns = 8, ///< string list: KG extraction attribute names.
+  kKgMeta = 9,            ///< KgMeta struct.
+  kKgEntityLabels = 10,   ///< string list, one per entity, id order.
+  kKgEntityTypes = 11,    ///< string list, one per entity, id order.
+  kKgPredicates = 12,     ///< string list, interning order.
+  kKgTriples = 13,        ///< u64 count + TripleRecord[count].
+  kKgLiteralStrings = 14, ///< string list: dedup dictionary for string literals.
+  kKgAliases = 15,        ///< u64 count + AliasRecord[count].
+  kKgAliasStrings = 16,   ///< string list: dedup dictionary for aliases.
+};
+
+/// One entry of the section table (32 bytes).
+struct SectionEntry {
+  uint32_t kind;      ///< SectionKind.
+  uint32_t arg;       ///< column index for per-column kinds, else 0.
+  uint64_t offset;    ///< absolute file offset, multiple of kAlignment.
+  uint64_t size;      ///< payload bytes (excluding inter-section padding).
+  uint32_t crc32c;    ///< CRC-32C of the payload bytes.
+  uint32_t reserved;  ///< must be 0.
+};
+static_assert(sizeof(SectionEntry) == 32, "on-disk struct must stay packed");
+
+/// File-trailing footer (last 40 bytes).
+struct Footer {
+  uint64_t section_table_offset;  ///< multiple of kAlignment.
+  uint64_t section_count;
+  uint32_t section_table_crc32c;  ///< CRC-32C over all SectionEntry bytes.
+  uint32_t reserved;              ///< must be 0.
+  uint64_t file_size;             ///< must equal the actual file size.
+  uint64_t footer_magic;          ///< kFooterMagic.
+};
+static_assert(sizeof(Footer) == 40, "on-disk struct must stay packed");
+
+/// kTableMeta payload.
+struct TableMeta {
+  uint64_t num_rows;
+  uint64_t num_columns;
+};
+static_assert(sizeof(TableMeta) == 16, "on-disk struct must stay packed");
+
+/// kColumnMeta payload. `type` is the DataType enum value.
+struct ColumnMeta {
+  uint32_t type;
+  uint32_t reserved;  ///< must be 0.
+  uint64_t null_count;
+};
+static_assert(sizeof(ColumnMeta) == 16, "on-disk struct must stay packed");
+
+/// kKgMeta payload.
+struct KgMeta {
+  uint64_t num_entities;
+  uint64_t num_triples;
+  uint64_t num_aliases;
+  uint64_t num_predicates;
+};
+static_assert(sizeof(KgMeta) == 32, "on-disk struct must stay packed");
+
+/// KgObject::Kind on disk.
+inline constexpr uint32_t kObjectLiteral = 0;
+inline constexpr uint32_t kObjectEntity = 1;
+
+/// One triple (24 bytes). For literal objects `literal_type` is the
+/// DataType of the literal (kNull encodes a null literal) and `payload`
+/// holds the raw bits of the double / int64, 0 or 1 for bools, or an
+/// index into kKgLiteralStrings. For entity objects `payload` is the
+/// object EntityId.
+struct TripleRecord {
+  uint32_t subject;
+  uint32_t predicate;
+  uint32_t object_kind;   ///< kObjectLiteral | kObjectEntity.
+  uint32_t literal_type;  ///< DataType; 0 (kNull) for entity objects.
+  uint64_t payload;
+};
+static_assert(sizeof(TripleRecord) == 24, "on-disk struct must stay packed");
+
+/// One alias registration (8 bytes): entity id + index into
+/// kKgAliasStrings. Written in (entity id, per-entity registration
+/// order) — the same canonical order the text `.kg` format uses.
+struct AliasRecord {
+  uint32_t entity;
+  uint32_t string_index;
+};
+static_assert(sizeof(AliasRecord) == 8, "on-disk struct must stay packed");
+
+/// Rounds `n` up to the next multiple of kAlignment.
+inline uint64_t AlignUp(uint64_t n) {
+  return (n + (kAlignment - 1)) & ~(kAlignment - 1);
+}
+
+}  // namespace snapshot
+}  // namespace mesa
+
+#endif  // MESA_SNAPSHOT_FORMAT_H_

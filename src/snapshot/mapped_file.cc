@@ -1,0 +1,47 @@
+#include "snapshot/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mesa {
+namespace snapshot {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IOError("cannot stat " + path + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("empty file is not a snapshot: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the pages; the fd is no longer needed.
+  if (addr == MAP_FAILED) {
+    return Status::IOError("cannot mmap " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<const uint8_t*>(addr), size));
+}
+
+MappedFile::~MappedFile() {
+  ::munmap(const_cast<uint8_t*>(data_), size_);
+}
+
+}  // namespace snapshot
+}  // namespace mesa

@@ -1,0 +1,45 @@
+#ifndef MESA_SNAPSHOT_MAPPED_FILE_H_
+#define MESA_SNAPSHOT_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace mesa {
+namespace snapshot {
+
+/// A read-only memory mapping of a whole file. The mapping lives as long
+/// as the MappedFile object; `SnapshotReader` hands tables a
+/// `shared_ptr<MappedFile>` so zero-copy column views keep the pages
+/// alive past the reader itself.
+///
+/// The file descriptor is closed immediately after mmap succeeds — the
+/// mapping survives the close, so the object holds no fd.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with IOError on open/stat/mmap errors
+  /// and InvalidArgument on an empty file (a valid snapshot is never
+  /// empty, and mmap of zero bytes is unspecified).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace snapshot
+}  // namespace mesa
+
+#endif  // MESA_SNAPSHOT_MAPPED_FILE_H_

@@ -1,0 +1,93 @@
+#ifndef MESA_SNAPSHOT_READER_H_
+#define MESA_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kg/triple_store.h"
+#include "snapshot/format.h"
+#include "table/table.h"
+
+namespace mesa {
+namespace snapshot {
+
+struct SnapshotReadOptions {
+  /// Verify the CRC-32C of every section at open time. Costs one pass over
+  /// the file (and faults in every page); with it off, opening is
+  /// O(metadata) and table loads touch only the pages the query reads.
+  /// Structural validation — magic, version, bounds, alignment, dictionary
+  /// code ranges — is unconditional: a hostile file yields an error Status
+  /// with checksums off too, never a crash.
+  bool verify_checksums = true;
+};
+
+/// Reads the `mesa-snapshot v1` container (docs/snapshot_format.md).
+///
+/// `Open` mmaps the file; `ReadTable` then builds a Table whose numeric /
+/// bool columns are zero-copy views into the mapping (string columns
+/// borrow the code array and materialize only the per-distinct-value
+/// dictionary). The views hold a shared handle on the mapping, so the
+/// Table — and any copies of its columns — stay valid after the reader is
+/// destroyed.
+///
+/// Every structural claim the file makes is validated before any payload
+/// pointer is formed: magic and exact version, footer round trip, section
+/// bounds and 8-alignment, string-list offset monotonicity, dictionary
+/// code ranges, and KG id ranges. A malformed or truncated file produces
+/// an InvalidArgument Status, never undefined behavior.
+class SnapshotReader {
+ public:
+  /// Maps and validates `path`.
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     const SnapshotReadOptions& options = {});
+
+  /// Validates an in-memory image. `data` must be 8-aligned (mmap and
+  /// aligned test buffers are; arbitrary string storage may not be) and
+  /// stay alive as long as `owner` is held.
+  static Result<SnapshotReader> FromBuffer(
+      const uint8_t* data, size_t size, std::shared_ptr<const void> owner,
+      const SnapshotReadOptions& options = {});
+
+  /// True if the snapshot carries a knowledge graph.
+  bool has_kg() const;
+
+  /// Extraction column list stored alongside the KG (empty if none).
+  const std::vector<std::string>& extraction_columns() const {
+    return extraction_columns_;
+  }
+
+  /// Builds the table with zero-copy column views into the mapping.
+  Result<Table> ReadTable() const;
+
+  /// Rebuilds the triple store (indexes are hash maps, so the KG is
+  /// materialized, not borrowed). Fails with NotFound if !has_kg().
+  Result<std::shared_ptr<TripleStore>> ReadKg() const;
+
+  size_t file_size() const { return size_; }
+
+ private:
+  SnapshotReader() = default;
+
+  Status Validate(const SnapshotReadOptions& options);
+
+  /// Section lookup by (kind, arg); nullptr if absent.
+  const SectionEntry* FindSection(SectionKind kind, uint32_t arg) const;
+
+  /// Payload bytes of a section that must exist; InvalidArgument if absent.
+  Result<const uint8_t*> RequireSection(SectionKind kind, uint32_t arg,
+                                        uint64_t* size_out) const;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::shared_ptr<const void> owner_;
+  std::vector<SectionEntry> sections_;
+  std::vector<std::string> extraction_columns_;
+};
+
+}  // namespace snapshot
+}  // namespace mesa
+
+#endif  // MESA_SNAPSHOT_READER_H_

@@ -1,0 +1,54 @@
+#ifndef MESA_SNAPSHOT_WRITER_H_
+#define MESA_SNAPSHOT_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "kg/triple_store.h"
+#include "table/table.h"
+
+namespace mesa {
+namespace snapshot {
+
+/// Serializes a dataset bundle — a columnar Table, optionally a knowledge
+/// graph and its extraction column list — into the `mesa-snapshot v1`
+/// container (docs/snapshot_format.md). The writer is deterministic: the
+/// same inputs produce byte-identical files, so snapshots can be diffed
+/// and content-addressed.
+///
+/// Dead payload bytes under null slots are canonicalized to the type's
+/// default (0 / 0.0 / "") on the way out, so a snapshot round trip yields
+/// the canonical `Column::ContentFingerprint` for the data regardless of
+/// the source column's mutation history.
+///
+/// The borrowed pointers passed to SetTable / SetKg must outlive the
+/// Serialize / WriteFile call.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+
+  void SetTable(const Table* table) { table_ = table; }
+  void SetKg(const TripleStore* kg) { kg_ = kg; }
+  void SetExtractionColumns(std::vector<std::string> columns) {
+    extraction_columns_ = std::move(columns);
+  }
+
+  /// Serializes the bundle to an in-memory buffer. Fails if no table was
+  /// set (a snapshot always carries a table; the KG is optional).
+  Result<std::string> Serialize() const;
+
+  /// Serializes and writes atomically-ish: to `path + ".tmp"`, then
+  /// renamed over `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  const Table* table_ = nullptr;
+  const TripleStore* kg_ = nullptr;
+  std::vector<std::string> extraction_columns_;
+};
+
+}  // namespace snapshot
+}  // namespace mesa
+
+#endif  // MESA_SNAPSHOT_WRITER_H_

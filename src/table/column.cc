@@ -10,10 +10,126 @@ Column::Column(DataType type) : type_(type) {
   MESA_CHECK(type != DataType::kNull);
 }
 
+Column::Column(const Column& other)
+    : type_(other.type_),
+      size_(other.size_),
+      null_count_(other.null_count_),
+      valid_ptr_(other.valid_ptr_),
+      double_ptr_(other.double_ptr_),
+      int_ptr_(other.int_ptr_),
+      bool_ptr_(other.bool_ptr_),
+      codes_ptr_(other.codes_ptr_),
+      dict_(other.dict_),
+      owner_(other.owner_),
+      valid_(other.valid_),
+      doubles_(other.doubles_),
+      ints_(other.ints_),
+      strings_(other.strings_),
+      bools_(other.bools_) {
+  // A borrowed copy shares the owner and keeps the borrowed pointers; an
+  // owned copy must re-point at its *own* vectors, not the source's.
+  if (owner_ == nullptr) SyncPointers();
+}
+
+Column& Column::operator=(const Column& other) {
+  if (this == &other) return *this;
+  Column copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+Column::Column(Column&& other) noexcept
+    : type_(other.type_),
+      size_(other.size_),
+      null_count_(other.null_count_),
+      valid_ptr_(other.valid_ptr_),
+      double_ptr_(other.double_ptr_),
+      int_ptr_(other.int_ptr_),
+      bool_ptr_(other.bool_ptr_),
+      codes_ptr_(other.codes_ptr_),
+      dict_(std::move(other.dict_)),
+      owner_(std::move(other.owner_)),
+      valid_(std::move(other.valid_)),
+      doubles_(std::move(other.doubles_)),
+      ints_(std::move(other.ints_)),
+      strings_(std::move(other.strings_)),
+      bools_(std::move(other.bools_)) {
+  // Vector moves transfer the heap buffer, so owned pointers stay valid;
+  // re-sync anyway to keep the invariant obvious and the moved-from
+  // column consistent (empty).
+  if (owner_ == nullptr) SyncPointers();
+  other.size_ = 0;
+  other.null_count_ = 0;
+  other.codes_ptr_ = nullptr;
+  other.SyncPointers();
+}
+
+Column& Column::operator=(Column&& other) noexcept {
+  if (this == &other) return *this;
+  type_ = other.type_;
+  size_ = other.size_;
+  null_count_ = other.null_count_;
+  valid_ptr_ = other.valid_ptr_;
+  double_ptr_ = other.double_ptr_;
+  int_ptr_ = other.int_ptr_;
+  bool_ptr_ = other.bool_ptr_;
+  codes_ptr_ = other.codes_ptr_;
+  dict_ = std::move(other.dict_);
+  owner_ = std::move(other.owner_);
+  valid_ = std::move(other.valid_);
+  doubles_ = std::move(other.doubles_);
+  ints_ = std::move(other.ints_);
+  strings_ = std::move(other.strings_);
+  bools_ = std::move(other.bools_);
+  if (owner_ == nullptr) SyncPointers();
+  other.size_ = 0;
+  other.null_count_ = 0;
+  other.codes_ptr_ = nullptr;
+  other.SyncPointers();
+  return *this;
+}
+
+void Column::SyncPointers() {
+  valid_ptr_ = valid_.data();
+  double_ptr_ = doubles_.data();
+  int_ptr_ = ints_.data();
+  bool_ptr_ = bools_.data();
+}
+
+void Column::EnsureOwned() {
+  if (owner_ == nullptr) return;
+  valid_.assign(valid_ptr_, valid_ptr_ + size_);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.assign(double_ptr_, double_ptr_ + size_);
+      break;
+    case DataType::kInt64:
+      ints_.assign(int_ptr_, int_ptr_ + size_);
+      break;
+    case DataType::kString:
+      strings_.reserve(size_);
+      for (size_t row = 0; row < size_; ++row) {
+        strings_.push_back(dict_[codes_ptr_[row]]);
+      }
+      dict_.clear();
+      break;
+    case DataType::kBool:
+      bools_.assign(bool_ptr_, bool_ptr_ + size_);
+      break;
+    case DataType::kNull:
+      break;
+  }
+  codes_ptr_ = nullptr;
+  owner_.reset();
+  SyncPointers();
+}
+
 Column Column::FromDoubles(std::vector<double> values) {
   Column c(DataType::kDouble);
   c.doubles_ = std::move(values);
   c.valid_.assign(c.doubles_.size(), 1);
+  c.size_ = c.doubles_.size();
+  c.SyncPointers();
   return c;
 }
 
@@ -21,6 +137,8 @@ Column Column::FromInts(std::vector<int64_t> values) {
   Column c(DataType::kInt64);
   c.ints_ = std::move(values);
   c.valid_.assign(c.ints_.size(), 1);
+  c.size_ = c.ints_.size();
+  c.SyncPointers();
   return c;
 }
 
@@ -28,6 +146,8 @@ Column Column::FromStrings(std::vector<std::string> values) {
   Column c(DataType::kString);
   c.strings_ = std::move(values);
   c.valid_.assign(c.strings_.size(), 1);
+  c.size_ = c.strings_.size();
+  c.SyncPointers();
   return c;
 }
 
@@ -35,6 +155,62 @@ Column Column::FromBools(std::vector<uint8_t> values) {
   Column c(DataType::kBool);
   c.bools_ = std::move(values);
   c.valid_.assign(c.bools_.size(), 1);
+  c.size_ = c.bools_.size();
+  c.SyncPointers();
+  return c;
+}
+
+Column Column::BorrowDoubles(const double* payload, const uint8_t* valid,
+                             size_t n, size_t null_count,
+                             std::shared_ptr<const void> owner) {
+  MESA_CHECK(owner != nullptr);
+  Column c(DataType::kDouble);
+  c.size_ = n;
+  c.null_count_ = null_count;
+  c.valid_ptr_ = valid;
+  c.double_ptr_ = payload;
+  c.owner_ = std::move(owner);
+  return c;
+}
+
+Column Column::BorrowInts(const int64_t* payload, const uint8_t* valid,
+                          size_t n, size_t null_count,
+                          std::shared_ptr<const void> owner) {
+  MESA_CHECK(owner != nullptr);
+  Column c(DataType::kInt64);
+  c.size_ = n;
+  c.null_count_ = null_count;
+  c.valid_ptr_ = valid;
+  c.int_ptr_ = payload;
+  c.owner_ = std::move(owner);
+  return c;
+}
+
+Column Column::BorrowBools(const uint8_t* payload, const uint8_t* valid,
+                           size_t n, size_t null_count,
+                           std::shared_ptr<const void> owner) {
+  MESA_CHECK(owner != nullptr);
+  Column c(DataType::kBool);
+  c.size_ = n;
+  c.null_count_ = null_count;
+  c.valid_ptr_ = valid;
+  c.bool_ptr_ = payload;
+  c.owner_ = std::move(owner);
+  return c;
+}
+
+Column Column::BorrowStringDict(std::vector<std::string> dict,
+                                const uint32_t* codes, const uint8_t* valid,
+                                size_t n, size_t null_count,
+                                std::shared_ptr<const void> owner) {
+  MESA_CHECK(owner != nullptr);
+  Column c(DataType::kString);
+  c.size_ = n;
+  c.null_count_ = null_count;
+  c.valid_ptr_ = valid;
+  c.codes_ptr_ = codes;
+  c.dict_ = std::move(dict);
+  c.owner_ = std::move(owner);
   return c;
 }
 
@@ -75,6 +251,7 @@ Status Column::Append(const Value& value) {
 }
 
 void Column::AppendNull() {
+  EnsureOwned();
   valid_.push_back(0);
   ++null_count_;
   switch (type_) {
@@ -93,30 +270,44 @@ void Column::AppendNull() {
     case DataType::kNull:
       break;
   }
+  ++size_;
+  SyncPointers();
 }
 
 void Column::AppendDouble(double v) {
   MESA_DCHECK(type_ == DataType::kDouble);
+  EnsureOwned();
   doubles_.push_back(v);
   valid_.push_back(1);
+  ++size_;
+  SyncPointers();
 }
 
 void Column::AppendInt(int64_t v) {
   MESA_DCHECK(type_ == DataType::kInt64);
+  EnsureOwned();
   ints_.push_back(v);
   valid_.push_back(1);
+  ++size_;
+  SyncPointers();
 }
 
 void Column::AppendString(std::string v) {
   MESA_DCHECK(type_ == DataType::kString);
+  EnsureOwned();
   strings_.push_back(std::move(v));
   valid_.push_back(1);
+  ++size_;
+  SyncPointers();
 }
 
 void Column::AppendBool(bool v) {
   MESA_DCHECK(type_ == DataType::kBool);
+  EnsureOwned();
   bools_.push_back(v ? 1 : 0);
   valid_.push_back(1);
+  ++size_;
+  SyncPointers();
 }
 
 Value Column::GetValue(size_t row) const {
@@ -124,13 +315,13 @@ Value Column::GetValue(size_t row) const {
   if (IsNull(row)) return Value::Null();
   switch (type_) {
     case DataType::kDouble:
-      return Value::Double(doubles_[row]);
+      return Value::Double(double_ptr_[row]);
     case DataType::kInt64:
-      return Value::Int(ints_[row]);
+      return Value::Int(int_ptr_[row]);
     case DataType::kString:
-      return Value::String(strings_[row]);
+      return Value::String(StringAt(row));
     case DataType::kBool:
-      return Value::Bool(bools_[row] != 0);
+      return Value::Bool(bool_ptr_[row] != 0);
     case DataType::kNull:
       break;
   }
@@ -141,11 +332,11 @@ double Column::NumericAt(size_t row) const {
   MESA_DCHECK(IsValid(row));
   switch (type_) {
     case DataType::kDouble:
-      return doubles_[row];
+      return double_ptr_[row];
     case DataType::kInt64:
-      return static_cast<double>(ints_[row]);
+      return static_cast<double>(int_ptr_[row]);
     case DataType::kBool:
-      return bools_[row] ? 1.0 : 0.0;
+      return bool_ptr_[row] ? 1.0 : 0.0;
     default:
       MESA_CHECK(false && "NumericAt on string column");
   }
@@ -158,6 +349,7 @@ Status Column::Set(size_t row, const Value& value) {
     SetNull(row);
     return Status::OK();
   }
+  EnsureOwned();
   switch (type_) {
     case DataType::kDouble:
       if (!value.is_numeric()) {
@@ -191,6 +383,7 @@ Status Column::Set(size_t row, const Value& value) {
 
 void Column::SetNull(size_t row) {
   MESA_DCHECK(row < size());
+  EnsureOwned();
   if (valid_[row] != 0) {
     valid_[row] = 0;
     ++null_count_;
@@ -199,23 +392,24 @@ void Column::SetNull(size_t row) {
 
 uint64_t Column::ContentFingerprint() const {
   uint64_t h = MixSeed(static_cast<uint64_t>(type_), size());
-  h = MixSeed(h, StableHash64Bytes(valid_.data(), valid_.size()));
+  h = MixSeed(h, StableHash64Bytes(valid_ptr_, size_));
   switch (type_) {
     case DataType::kDouble:
-      h = MixSeed(h, StableHash64Bytes(doubles_.data(),
-                                       doubles_.size() * sizeof(double)));
+      h = MixSeed(h, StableHash64Bytes(double_ptr_, size_ * sizeof(double)));
       break;
     case DataType::kInt64:
-      h = MixSeed(h, StableHash64Bytes(ints_.data(),
-                                       ints_.size() * sizeof(int64_t)));
+      h = MixSeed(h, StableHash64Bytes(int_ptr_, size_ * sizeof(int64_t)));
       break;
     case DataType::kString:
-      for (const std::string& s : strings_) {
+      // Hash row strings in row order, dictionary-encoded or not, so the
+      // fingerprint is a function of content alone, not storage mode.
+      for (size_t row = 0; row < size_; ++row) {
+        const std::string& s = StringAt(row);
         h = MixSeed(h, StableHash64Bytes(s.data(), s.size()));
       }
       break;
     case DataType::kBool:
-      h = MixSeed(h, StableHash64Bytes(bools_.data(), bools_.size()));
+      h = MixSeed(h, StableHash64Bytes(bool_ptr_, size_));
       break;
     case DataType::kNull:
       break;
@@ -250,16 +444,16 @@ Column Column::Take(const std::vector<size_t>& rows) const {
     }
     switch (type_) {
       case DataType::kDouble:
-        out.AppendDouble(doubles_[row]);
+        out.AppendDouble(double_ptr_[row]);
         break;
       case DataType::kInt64:
-        out.AppendInt(ints_[row]);
+        out.AppendInt(int_ptr_[row]);
         break;
       case DataType::kString:
-        out.AppendString(strings_[row]);
+        out.AppendString(StringAt(row));
         break;
       case DataType::kBool:
-        out.AppendBool(bools_[row] != 0);
+        out.AppendBool(bool_ptr_[row] != 0);
         break;
       case DataType::kNull:
         break;

@@ -12,13 +12,34 @@
 namespace mesa {
 
 /// A typed column with a validity (non-null) bitmap. Storage is columnar:
-/// one contiguous vector of the physical type plus a parallel validity
-/// vector. Null slots hold a default payload that must never be read.
+/// one contiguous run of the physical type plus a parallel validity run.
+/// Null slots hold a default payload that must never be read.
+///
+/// A column is in one of two storage modes:
+///
+/// - **owned** (the default): payload and validity live in member vectors,
+///   exactly as a `TableBuilder` / CSV load produces them.
+/// - **borrowed** (zero-copy): payload and validity are `const` pointers
+///   into memory kept alive by an opaque `owner` handle — in practice a
+///   snapshot's mmap'd file (`src/snapshot/reader.h`). String columns
+///   borrow a `uint32_t` code array and materialize only the dictionary
+///   (one `std::string` per *distinct* value), so `StringAt` still returns
+///   a `const std::string&` without per-row materialization.
+///
+/// Every read accessor behaves identically in both modes. Mutating a
+/// borrowed column (Append / Set / SetNull) first detaches it — the
+/// borrowed runs are copied into owned vectors — so snapshot-backed tables
+/// stay safe under the missing-data machinery's in-place edits.
 class Column {
  public:
   /// Creates an empty column of the given type. kNull-typed columns are not
   /// allowed; pick a concrete type.
   explicit Column(DataType type);
+
+  Column(const Column& other);
+  Column& operator=(const Column& other);
+  Column(Column&& other) noexcept;
+  Column& operator=(Column&& other) noexcept;
 
   /// Convenience factories from dense data (all valid).
   static Column FromDoubles(std::vector<double> values);
@@ -26,11 +47,36 @@ class Column {
   static Column FromStrings(std::vector<std::string> values);
   static Column FromBools(std::vector<uint8_t> values);
 
-  DataType type() const { return type_; }
-  size_t size() const { return valid_.size(); }
+  /// Zero-copy factories: the column reads through `payload` / `valid`
+  /// (length `n` each) without copying; `owner` keeps the backing memory
+  /// alive for the column's lifetime (and the lifetime of its copies).
+  /// `null_count` must equal the number of zero bytes in `valid`.
+  static Column BorrowDoubles(const double* payload, const uint8_t* valid,
+                              size_t n, size_t null_count,
+                              std::shared_ptr<const void> owner);
+  static Column BorrowInts(const int64_t* payload, const uint8_t* valid,
+                           size_t n, size_t null_count,
+                           std::shared_ptr<const void> owner);
+  static Column BorrowBools(const uint8_t* payload, const uint8_t* valid,
+                            size_t n, size_t null_count,
+                            std::shared_ptr<const void> owner);
+  /// Dictionary-encoded zero-copy string column: row i reads
+  /// `dict[codes[i]]`. Every code must be < dict.size() (the snapshot
+  /// reader validates this before borrowing). Null rows must code the
+  /// empty string so content fingerprints match an owned equivalent.
+  static Column BorrowStringDict(std::vector<std::string> dict,
+                                 const uint32_t* codes, const uint8_t* valid,
+                                 size_t n, size_t null_count,
+                                 std::shared_ptr<const void> owner);
 
-  bool IsNull(size_t row) const { return valid_[row] == 0; }
-  bool IsValid(size_t row) const { return valid_[row] != 0; }
+  DataType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  /// True when the column reads through borrowed (snapshot-backed) memory.
+  bool is_borrowed() const { return owner_ != nullptr; }
+
+  bool IsNull(size_t row) const { return valid_ptr_[row] == 0; }
+  bool IsValid(size_t row) const { return valid_ptr_[row] != 0; }
 
   /// Number of null entries.
   size_t null_count() const { return null_count_; }
@@ -58,10 +104,12 @@ class Column {
 
   /// Typed readers. Caller must ensure the row is valid and the type
   /// matches (checked in debug builds).
-  double DoubleAt(size_t row) const { return doubles_[row]; }
-  int64_t IntAt(size_t row) const { return ints_[row]; }
-  const std::string& StringAt(size_t row) const { return strings_[row]; }
-  bool BoolAt(size_t row) const { return bools_[row] != 0; }
+  double DoubleAt(size_t row) const { return double_ptr_[row]; }
+  int64_t IntAt(size_t row) const { return int_ptr_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return codes_ptr_ != nullptr ? dict_[codes_ptr_[row]] : strings_[row];
+  }
+  bool BoolAt(size_t row) const { return bool_ptr_[row] != 0; }
 
   /// Numeric payload of a valid cell as double (bools -> 0/1). Fails on
   /// string columns.
@@ -73,7 +121,7 @@ class Column {
   /// Marks an existing slot null (used by missing-data injection).
   void SetNull(size_t row);
 
-  /// Gathers the given rows into a new column.
+  /// Gathers the given rows into a new (owned) column.
   Column Take(const std::vector<size_t>& rows) const;
 
   /// Stable 64-bit hash of the column's content: type, length, validity
@@ -81,21 +129,50 @@ class Column {
   /// interchangeable by content-addressed caches (discretizer memo). Dead
   /// payload bytes under null slots are hashed too, so a Set-then-SetNull
   /// column may fingerprint differently from a freshly built equal one —
-  /// that only costs a cache miss, never a false hit.
+  /// that only costs a cache miss, never a false hit. (Snapshot writers
+  /// canonicalize dead payloads to the default value, so a snapshot
+  /// round trip of an unmutated column preserves the fingerprint.)
   uint64_t ContentFingerprint() const;
 
-  /// Direct storage access for tight loops.
-  const std::vector<double>& doubles() const { return doubles_; }
-  const std::vector<int64_t>& ints() const { return ints_; }
-  const std::vector<std::string>& strings() const { return strings_; }
-  const std::vector<uint8_t>& validity() const { return valid_; }
+  /// Direct storage access for tight loops and serializers. Valid in both
+  /// storage modes; pointers are invalidated by any mutation.
+  const double* double_data() const { return double_ptr_; }
+  const int64_t* int_data() const { return int_ptr_; }
+  const uint8_t* bool_data() const { return bool_ptr_; }
+  const uint8_t* validity_data() const { return valid_ptr_; }
 
  private:
+  /// Points the read-through pointers at the owned vectors (owned mode
+  /// only; borrowed pointers are set by the Borrow factories).
+  void SyncPointers();
+
+  /// Copies borrowed runs into owned vectors and drops the owner handle.
+  /// No-op in owned mode. Called by every mutator.
+  void EnsureOwned();
+
   DataType type_;
-  std::vector<uint8_t> valid_;
+  size_t size_ = 0;
   size_t null_count_ = 0;
 
-  // Exactly one of these is populated, according to type_.
+  /// Read-through pointers: either into the owned vectors below or into
+  /// borrowed memory held alive by owner_.
+  const uint8_t* valid_ptr_ = nullptr;
+  const double* double_ptr_ = nullptr;
+  const int64_t* int_ptr_ = nullptr;
+  const uint8_t* bool_ptr_ = nullptr;
+  const uint32_t* codes_ptr_ = nullptr;  ///< borrowed string mode only.
+
+  /// Borrowed-string dictionary: one string per distinct value; rows read
+  /// dict_[codes_ptr_[row]].
+  std::vector<std::string> dict_;
+
+  /// Keeps borrowed memory alive (e.g. a snapshot mapping); null in owned
+  /// mode.
+  std::shared_ptr<const void> owner_;
+
+  /// Owned storage; exactly one payload vector is populated, according to
+  /// type_, and only in owned mode.
+  std::vector<uint8_t> valid_;
   std::vector<double> doubles_;
   std::vector<int64_t> ints_;
   std::vector<std::string> strings_;

@@ -27,6 +27,8 @@
 #include "datagen/registry.h"
 #include "info/info_cache.h"
 #include "kg/serialization.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
 #include "table/csv.h"
 
 namespace mesa {
@@ -37,8 +39,13 @@ int Usage() {
   mesa_cli gen --dataset so|covid|flights|forbes [--rows N] [--seed S] --out PREFIX
       Writes PREFIX.csv (the dataset) and PREFIX.kg (the knowledge graph).
 
-  mesa_cli explain --data FILE.csv --query SQL
+  mesa_cli explain (--data FILE.csv | --snapshot FILE.msnap) --query SQL
       [--kg FILE.kg --extract Col1,Col2]   mine confounders from this KG
+                                           (--data form only; a snapshot
+                                           already carries its KG)
+      [--save-snapshot FILE.msnap]         write the loaded dataset bundle
+                                           as a binary snapshot; with no
+                                           --query, convert and exit
       [--k N]                              max explanation size (default 5)
       [--hops N]                           KG extraction depth (default 1)
       [--no-prune]                         disable offline+online pruning
@@ -162,37 +169,99 @@ int RunGen(const Flags& flags) {
 
 int RunExplain(const Flags& flags) {
   std::string data = flags.Get("data");
+  std::string snapshot_path = flags.Get("snapshot");
+  std::string save_snapshot = flags.Get("save-snapshot");
   std::string sql = flags.Get("query");
-  if (data.empty() || sql.empty()) {
-    std::fprintf(stderr, "--data and --query are required\n");
+  if (data.empty() == snapshot_path.empty()) {
+    std::fprintf(stderr, "exactly one of --data / --snapshot is required\n");
     return 1;
   }
-  auto table = ReadCsvFile(data);
-  if (!table.ok()) {
-    std::fprintf(stderr, "cannot read %s: %s\n", data.c_str(),
-                 table.status().ToString().c_str());
-    return 2;
+  if (sql.empty() && save_snapshot.empty()) {
+    std::fprintf(stderr,
+                 "--query is required (omit it only with --save-snapshot "
+                 "to just convert)\n");
+    return 1;
   }
 
+  Table table;
   TripleStore kg;
+  std::shared_ptr<TripleStore> kg_from_snapshot;
   const TripleStore* kg_ptr = nullptr;
   std::vector<std::string> extract;
-  if (flags.Has("kg")) {
-    auto loaded = ReadKgFile(flags.Get("kg"));
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot read KG: %s\n",
-                   loaded.status().ToString().c_str());
-      return 2;
-    }
-    kg = std::move(*loaded);
-    kg_ptr = &kg;
-    for (auto& col : Split(flags.Get("extract"), ',')) {
-      if (!col.empty()) extract.push_back(col);
-    }
-    if (extract.empty()) {
-      std::fprintf(stderr, "--kg needs --extract Col1,Col2\n");
+
+  if (!snapshot_path.empty()) {
+    if (flags.Has("kg") || flags.Has("extract")) {
+      std::fprintf(stderr,
+                   "--kg/--extract conflict with --snapshot: a snapshot "
+                   "already carries its KG and extraction columns\n");
       return 1;
     }
+    auto reader = snapshot::SnapshotReader::Open(snapshot_path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", snapshot_path.c_str(),
+                   reader.status().ToString().c_str());
+      return 2;
+    }
+    auto loaded_table = reader->ReadTable();
+    if (!loaded_table.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", snapshot_path.c_str(),
+                   loaded_table.status().ToString().c_str());
+      return 2;
+    }
+    table = std::move(*loaded_table);
+    if (reader->has_kg()) {
+      auto loaded_kg = reader->ReadKg();
+      if (!loaded_kg.ok()) {
+        std::fprintf(stderr, "cannot read %s: %s\n", snapshot_path.c_str(),
+                     loaded_kg.status().ToString().c_str());
+        return 2;
+      }
+      kg_from_snapshot = std::move(*loaded_kg);
+      kg_ptr = kg_from_snapshot.get();
+      extract = reader->extraction_columns();
+    }
+  } else {
+    auto loaded_table = ReadCsvFile(data);
+    if (!loaded_table.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", data.c_str(),
+                   loaded_table.status().ToString().c_str());
+      return 2;
+    }
+    table = std::move(*loaded_table);
+    if (flags.Has("kg")) {
+      auto loaded = ReadKgFile(flags.Get("kg"));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot read KG: %s\n",
+                     loaded.status().ToString().c_str());
+        return 2;
+      }
+      kg = std::move(*loaded);
+      kg_ptr = &kg;
+      for (auto& col : Split(flags.Get("extract"), ',')) {
+        if (!col.empty()) extract.push_back(col);
+      }
+      if (extract.empty()) {
+        std::fprintf(stderr, "--kg needs --extract Col1,Col2\n");
+        return 1;
+      }
+    }
+  }
+
+  if (!save_snapshot.empty()) {
+    snapshot::SnapshotWriter writer;
+    writer.SetTable(&table);
+    if (kg_ptr != nullptr) writer.SetKg(kg_ptr);
+    writer.SetExtractionColumns(extract);
+    Status written = writer.WriteFile(save_snapshot);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write snapshot: %s\n",
+                   written.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu rows, %zu columns%s)\n", save_snapshot.c_str(),
+                table.num_rows(), table.num_columns(),
+                kg_ptr != nullptr ? ", with KG" : "");
+    if (sql.empty()) return 0;
   }
 
   if (flags.Has("info-cache")) {
@@ -223,7 +292,7 @@ int RunExplain(const Flags& flags) {
     options.extraction.min_coverage = floor;
   }
 
-  Mesa mesa(std::move(*table), kg_ptr, extract, options);
+  Mesa mesa(std::move(table), kg_ptr, extract, options);
   auto query = ParseQuery(sql);
   if (!query.ok()) {
     std::fprintf(stderr, "bad query: %s\n",

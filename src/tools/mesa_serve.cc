@@ -49,6 +49,8 @@ int Usage() {
   std::fprintf(stderr, R"(usage:
   mesa_serve --data SPEC[;SPEC...]
       SPEC is NAME=FILE.csv[:FILE.kg:Col1+Col2+...]
+           or NAME=FILE.msnap (a binary snapshot, which carries its own
+           KG and extraction columns; see docs/snapshot_format.md)
       Each SPEC becomes one resident dataset addressable by NAME in
       explain requests; the KG columns name the extraction attributes.
 
@@ -130,21 +132,35 @@ class Flags {
   std::string error_;
 };
 
-// Parses one NAME=FILE.csv[:FILE.kg:Col1+Col2] spec into a DatasetSpec
-// (options filled in by the caller). Returns false with *error set on a
-// malformed spec.
+// Parses one NAME=FILE.csv[:FILE.kg:Col1+Col2] or NAME=FILE.msnap spec
+// into a DatasetSpec (options filled in by the caller). Returns false
+// with *error set on a malformed spec.
 bool ParseDataSpec(const std::string& spec, serve::Router::DatasetSpec* out,
                    std::string* error) {
   size_t eq = spec.find('=');
   if (eq == std::string::npos || eq == 0) {
-    *error = "data spec needs NAME=FILE.csv: '" + spec + "'";
+    *error = "data spec needs NAME=FILE.csv or NAME=FILE.msnap: '" + spec +
+             "'";
     return false;
   }
   out->name = spec.substr(0, eq);
   std::vector<std::string> parts = Split(spec.substr(eq + 1), ':');
   if (parts.empty() || parts[0].empty()) {
-    *error = "data spec '" + out->name + "' has no CSV path";
+    *error = "data spec '" + out->name + "' has no data path";
     return false;
+  }
+  const std::string kSnapshotSuffix = ".msnap";
+  if (parts[0].size() > kSnapshotSuffix.size() &&
+      parts[0].compare(parts[0].size() - kSnapshotSuffix.size(),
+                       kSnapshotSuffix.size(), kSnapshotSuffix) == 0) {
+    if (parts.size() != 1) {
+      *error = "data spec '" + out->name +
+               "' is a snapshot; it carries its own KG, drop the " +
+               "':FILE.kg:Col1+Col2' suffix";
+      return false;
+    }
+    out->snapshot_path = parts[0];
+    return true;
   }
   out->csv_path = parts[0];
   if (parts.size() == 1) return true;  // no KG.
