@@ -8,8 +8,10 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "info/cmi_kernel.h"
 #include "info/contingency.h"
 #include "info/independence.h"
+#include "info/info_cache.h"
 #include "info/mutual_information.h"
 
 namespace mesa {
@@ -152,6 +154,78 @@ void BM_IndependenceTestThreadSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_IndependenceTestThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+// CMI kernel A/B: dense arena vs sort-packed vs legacy hash over the
+// same triple, with the estimator caches bypassed so each iteration
+// measures the kernel itself, not the scalar memo. arg0 = rows, arg1 =
+// |Y| (x and z stay at 8, so arg1 sweeps the joint-key width: 64 → 12
+// bits, 4096 → 18 bits, 65536 → 22 bits — past the 20-bit dense arena,
+// where "dense" silently clamps to packed; see docs/performance.md §9).
+void CmiKernelBench(benchmark::State& state, CmiKernel kernel) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto x = RandomVar(n, 8, 1);
+  auto y = RandomVar(n, static_cast<int32_t>(state.range(1)), 2);
+  auto z = RandomVar(n, 8, 3);
+  info_cache::EphemeralScope no_cache;
+  SetCmiKernelMode(kernel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalMutualInformation(x, y, z));
+  }
+  SetCmiKernelMode(CmiKernel::kAuto);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_CmiKernelDense(benchmark::State& state) {
+  CmiKernelBench(state, CmiKernel::kDense);
+}
+void BM_CmiKernelPacked(benchmark::State& state) {
+  CmiKernelBench(state, CmiKernel::kPacked);
+}
+void BM_CmiKernelHash(benchmark::State& state) {
+  CmiKernelBench(state, CmiKernel::kHash);
+}
+BENCHMARK(BM_CmiKernelDense)
+    ->Args({100'000, 64})
+    ->Args({100'000, 4'096})
+    ->Args({100'000, 65'536})
+    ->Args({1'000'000, 4'096});
+BENCHMARK(BM_CmiKernelPacked)
+    ->Args({100'000, 64})
+    ->Args({100'000, 4'096})
+    ->Args({100'000, 65'536})
+    ->Args({1'000'000, 4'096});
+BENCHMARK(BM_CmiKernelHash)
+    ->Args({100'000, 64})
+    ->Args({100'000, 4'096})
+    ->Args({100'000, 65'536})
+    ->Args({1'000'000, 4'096});
+
+// The packed kernel's radix sort is morsel-parallel (the dense and hash
+// kernels are single-threaded by construction): the 1M-row arm across
+// pool sizes shows what the sweep buys. UseRealTime: work runs on pool
+// threads.
+void BM_CmiKernelPackedThreadSweep(benchmark::State& state) {
+  const size_t n = 1'000'000;
+  auto x = RandomVar(n, 8, 1);
+  auto y = RandomVar(n, 4'096, 2);
+  auto z = RandomVar(n, 8, 3);
+  info_cache::EphemeralScope no_cache;
+  SetCmiKernelMode(CmiKernel::kPacked);
+  const size_t prev_threads = NumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConditionalMutualInformation(x, y, z));
+  }
+  SetNumThreads(prev_threads);
+  SetCmiKernelMode(CmiKernel::kAuto);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CmiKernelPackedThreadSweep)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -4,12 +4,12 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "info/cmi_kernel.h"
 #include "info/info_cache.h"
 #include "info/key_packing.h"
 
@@ -20,170 +20,63 @@ namespace {
 using info_cache::CubeEntry;
 using info_cache::JointCube;
 using info_internal::BitsFor;
+using info_internal::BuildDenseEntries;
+using info_internal::BuildPackedEntries;
+using info_internal::CmiFromEntries;
+using info_internal::HashCmi;
+using info_internal::kDenseCmiBits;
 using info_internal::PackKey3;
+using info_internal::SumEntriesAscending;
 using info_internal::UnpackKey3;
 
 // Scalar-memo tags: which estimator family a memoized double belongs to.
-// MI through the dense path memoizes under the CMI tag (it *is* a CMI
+// MI through a cube kernel memoizes under the CMI tag (it *is* a CMI
 // with a constant conditioning axis), so the same expression reached via
-// either entry point shares one memo slot.
-constexpr uint64_t kTagCmi = 0x434D49;  // "CMI"
-constexpr uint64_t kTagMi = 0x4D49;     // "MI"
+// either entry point shares one memo slot. The dense and packed kernels
+// share kTagCmi — they are bit-identical by the canonical-cube contract —
+// while the hash kernel's ulp-different results live under their own
+// tag, so flipping MESA_CMI_KERNEL mid-process can never replay a stale
+// value from the other arithmetic.
+constexpr uint64_t kTagCmi = 0x434D49;       // "CMI"
+constexpr uint64_t kTagCmiHash = 0x434D4948; // "CMIH"
+constexpr uint64_t kTagMi = 0x4D49;          // "MI"
 
-double EntropyOfMap(const std::unordered_map<uint64_t, double>& counts,
-                    double total, const EntropyOptions& options) {
-  if (total <= 0.0) return 0.0;
-  double h = 0.0;
-  for (const auto& [key, c] : counts) {
-    (void)key;
-    if (c <= 0.0) continue;
-    double p = c / total;
-    h -= p * std::log2(p);
+// What actually runs for one evaluation, after clamping the requested
+// mode to the widths each kernel can serve.
+enum class Resolved { kDense, kPacked, kHash, kFallback };
+
+Resolved ResolveKernel(int key_bits) {
+  if (key_bits > 64) return Resolved::kFallback;
+  switch (CmiKernelMode()) {
+    case CmiKernel::kPacked:
+      return Resolved::kPacked;
+    case CmiKernel::kHash:
+      return Resolved::kHash;
+    case CmiKernel::kAuto:
+    case CmiKernel::kDense:
+      break;
   }
-  if (options.miller_madow && counts.size() > 1) {
-    h += static_cast<double>(counts.size() - 1) /
-         (2.0 * total * std::log(2.0));
-  }
-  return h;
+  // Auto picks by width; a forced `dense` above the arena limit clamps
+  // to packed, which is bit-identical where both could run.
+  return key_bits <= kDenseCmiBits ? Resolved::kDense : Resolved::kPacked;
 }
 
-// Per-worker scratch for the dense kernel. The buffers hold the joint
-// count cube and its three marginal projections; they grow to the
-// largest key space seen by this thread and are *restored to all-zero*
-// after every call by walking the touched cells (O(support)) instead of
-// re-zeroing the whole buffer (O(cells), up to 8 MB per call at the
-// 20-bit dense limit). The all-zero invariant between calls is what the
-// counting loops rely on.
-struct DenseArena {
-  std::vector<double> xyz;
-  std::vector<double> xz;
-  std::vector<double> yz;
-  std::vector<double> z;
-};
-
-DenseArena& Arena() {
-  thread_local DenseArena arena;
-  return arena;
-}
-
-void EnsureZeroed(std::vector<double>* buf, size_t size) {
-  if (buf->size() < size) buf->resize(size, 0.0);
-}
-
-// Counts the joint (x, y, z) cube into the arena and extracts the
-// nonzero cells, ascending by packed key — the exact order the original
-// dense kernel visited them — zeroing each extracted cell so the arena
-// invariant holds on return. Row handling (skip any-missing rows, skip
-// non-positive weights) is unchanged from the pre-cache kernel.
-void BuildDenseEntries(const CodedVariable& x, const CodedVariable& y,
-                       const CodedVariable& z,
-                       const std::vector<double>* weights, int bx, int by,
-                       int bz, std::vector<CubeEntry>* entries,
-                       double* total_out) {
-  const size_t cells = size_t{1} << (bx + by + bz);
-  std::vector<double>& xyz = Arena().xyz;
-  EnsureZeroed(&xyz, cells);
-  double total = 0.0;
-  const size_t n = x.codes.size();
-  if (weights == nullptr) {
-    for (size_t i = 0; i < n; ++i) {
-      int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
-      if ((cx | cy | cz) < 0) continue;  // any missing
-      size_t key = (static_cast<size_t>(cx) << (by + bz)) |
-                   (static_cast<size_t>(cy) << bz) | static_cast<size_t>(cz);
-      xyz[key] += 1.0;
-      total += 1.0;
-    }
-  } else {
-    for (size_t i = 0; i < n; ++i) {
-      int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
-      if ((cx | cy | cz) < 0) continue;
-      double w = (*weights)[i];
-      if (w <= 0.0) continue;
-      size_t key = (static_cast<size_t>(cx) << (by + bz)) |
-                   (static_cast<size_t>(cy) << bz) | static_cast<size_t>(cz);
-      xyz[key] += w;
-      total += w;
-    }
+// Bumps the per-kernel selection counter (docs/observability.md).
+void CountKernel(Resolved kernel) {
+  switch (kernel) {
+    case Resolved::kDense:
+      MESA_COUNT("info/kernel_dense");
+      break;
+    case Resolved::kPacked:
+      MESA_COUNT("info/kernel_packed");
+      break;
+    case Resolved::kHash:
+      MESA_COUNT("info/kernel_hash");
+      break;
+    case Resolved::kFallback:
+      MESA_COUNT("info/kernel_fallback");
+      break;
   }
-  entries->clear();
-  for (size_t key = 0; key < cells; ++key) {
-    double c = xyz[key];
-    if (c <= 0.0) continue;
-    entries->push_back(CubeEntry{key, c});
-    xyz[key] = 0.0;
-  }
-  *total_out = total;
-}
-
-// The dense CMI computation from an already-counted cube. Entries must
-// be sorted ascending by key in the *caller's* (x, y, z) layout; since
-// that is the order the old kernel scanned its flat array, every
-// floating-point sum here happens in the same order as a pre-cache
-// evaluation — the result is bit-identical whether the entries came from
-// a fresh row scan or from a repacked cached cube.
-double DenseCmiFromEntries(const std::vector<CubeEntry>& entries,
-                           double total, const EntropyOptions& options,
-                           int bx, int by, int bz) {
-  if (total <= 0.0) return 0.0;
-  DenseArena& arena = Arena();
-  const size_t cells_xz = size_t{1} << (bx + bz);
-  const size_t cells_yz = size_t{1} << (by + bz);
-  const size_t cells_z = size_t{1} << bz;
-  EnsureZeroed(&arena.xz, cells_xz);
-  EnsureZeroed(&arena.yz, cells_yz);
-  EnsureZeroed(&arena.z, cells_z);
-
-  double h_xyz = 0.0;
-  size_t support_xyz = 0;
-  const double inv_total = 1.0 / total;
-  for (const CubeEntry& e : entries) {
-    double c = e.count;
-    if (c <= 0.0) continue;
-    ++support_xyz;
-    double p = c * inv_total;
-    h_xyz -= p * std::log2(p);
-    uint64_t kx, ky, kz;
-    UnpackKey3(e.key, by, bz, &kx, &ky, &kz);
-    arena.xz[(kx << bz) | kz] += c;
-    arena.yz[(ky << bz) | kz] += c;
-    arena.z[kz] += c;
-  }
-  auto entropy_of = [&](const std::vector<double>& counts, size_t limit,
-                        size_t* support) {
-    double h = 0.0;
-    size_t s = 0;
-    for (size_t i = 0; i < limit; ++i) {
-      double c = counts[i];
-      if (c <= 0.0) continue;
-      ++s;
-      double p = c * inv_total;
-      h -= p * std::log2(p);
-    }
-    *support = s;
-    return h;
-  };
-  size_t s_xz = 0, s_yz = 0, s_z = 0;
-  double h_xz = entropy_of(arena.xz, cells_xz, &s_xz);
-  double h_yz = entropy_of(arena.yz, cells_yz, &s_yz);
-  double h_z = entropy_of(arena.z, cells_z, &s_z);
-  // Restore the arena's all-zero invariant by touched cell (repeated
-  // zeroing of a shared projection cell is harmless).
-  for (const CubeEntry& e : entries) {
-    uint64_t kx, ky, kz;
-    UnpackKey3(e.key, by, bz, &kx, &ky, &kz);
-    arena.xz[(kx << bz) | kz] = 0.0;
-    arena.yz[(ky << bz) | kz] = 0.0;
-    arena.z[kz] = 0.0;
-  }
-  if (options.miller_madow) {
-    const double mm = 1.0 / (2.0 * total * std::log(2.0));
-    if (support_xyz > 1) h_xyz += (support_xyz - 1) * mm;
-    if (s_xz > 1) h_xz += (s_xz - 1) * mm;
-    if (s_yz > 1) h_yz += (s_yz - 1) * mm;
-    if (s_z > 1) h_z += (s_z - 1) * mm;
-  }
-  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
 }
 
 // Matches our (x, y, z) axis identities against a cached cube's axes.
@@ -209,8 +102,10 @@ bool MatchAxes(const JointCube& cube, const uint64_t fps[3],
 
 // Translates a cached cube (counted in some other call's axis order)
 // into the requesting call's layout and sorts ascending — producing
-// exactly the entry sequence BuildDenseEntries would have emitted, since
-// cell counts are layout-independent sums over the same rows.
+// exactly the entry sequence a fresh build would have emitted: cell
+// counts are stable row-order sums of the same rows in any layout, and
+// the caller re-derives the grand total from the repacked ascending
+// order, so nothing downstream can tell a cache hit from a fresh count.
 void RepackEntries(const JointCube& cube, const int perm[3], int by, int bz,
                    std::vector<CubeEntry>* out) {
   const int cube_by = cube.axes[1].bits;
@@ -228,17 +123,26 @@ void RepackEntries(const JointCube& cube, const int perm[3], int by, int bz,
             });
 }
 
-// Dense CMI with both cache layers. Cache off reduces to exactly the
-// pre-cache kernel (no fingerprinting, no lookups).
-double CachedDenseCmi(const CodedVariable& x, const CodedVariable& y,
-                      const CodedVariable& z,
-                      const std::vector<double>* weights,
-                      const EntropyOptions& options, int bx, int by, int bz) {
+// CMI through a canonical-cube kernel (dense or packed — bit-identical,
+// so they share memo slots and cubes), with both cache layers. Cache off
+// reduces to exactly the kernel (no fingerprinting, no lookups).
+double CachedCubeCmi(const CodedVariable& x, const CodedVariable& y,
+                     const CodedVariable& z,
+                     const std::vector<double>* weights,
+                     const EntropyOptions& options, int bx, int by, int bz,
+                     bool dense_build) {
   thread_local std::vector<CubeEntry> entries;
-  double total = 0.0;
+  auto build = [&] {
+    if (dense_build) {
+      BuildDenseEntries(x, y, z, weights, bx, by, bz, &entries);
+    } else {
+      BuildPackedEntries(x, y, z, weights, bx, by, bz, &entries);
+    }
+  };
   if (!info_cache::Enabled()) {
-    BuildDenseEntries(x, y, z, weights, bx, by, bz, &entries, &total);
-    return DenseCmiFromEntries(entries, total, options, bx, by, bz);
+    build();
+    return CmiFromEntries(entries, SumEntriesAscending(entries), options, bx,
+                          by, bz);
   }
   const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(), z.fingerprint()};
   const uint64_t wfp = info_cache::WeightsFingerprint(weights);
@@ -253,66 +157,43 @@ double CachedDenseCmi(const CodedVariable& x, const CodedVariable& y,
   int perm[3];
   if (cube != nullptr && MatchAxes(*cube, fps, bits, perm)) {
     RepackEntries(*cube, perm, by, bz, &entries);
-    total = cube->total;
   } else {
-    BuildDenseEntries(x, y, z, weights, bx, by, bz, &entries, &total);
+    build();
     if (cube == nullptr) {
       auto fresh = std::make_shared<JointCube>();
       fresh->axes[0] = {fps[0], bx};
       fresh->axes[1] = {fps[1], by};
       fresh->axes[2] = {fps[2], bz};
       fresh->entries = entries;
-      fresh->total = total;
+      fresh->total = SumEntriesAscending(entries);
       info_cache::InsertCube(ckey, std::move(fresh));
     }
   }
-  double r = DenseCmiFromEntries(entries, total, options, bx, by, bz);
+  double r = CmiFromEntries(entries, SumEntriesAscending(entries), options,
+                            bx, by, bz);
   info_cache::InsertScalar(skey, r);
   return r;
 }
 
-// Single-pass CMI over packed (x, y, z) keys. Requires the key widths to
-// fit 64 bits; the caller falls back to the generic path otherwise. Rows
-// missing any variable are skipped, so every entropy term shares one
-// support, and optional row weights give the IPW estimator. This path
-// keeps its original hash-map arithmetic (the scalar memo in the caller
-// dedupes repeats); only the dense path shares cubes across calls,
-// because only there is the summation order reproducible from a cube.
-double PackedCmi(const CodedVariable& x, const CodedVariable& y,
-                 const CodedVariable& z, const std::vector<double>* weights,
-                 const EntropyOptions& options, int by, int bz) {
-  std::unordered_map<uint64_t, double> xyz;
-  xyz.reserve(256);
-  double total = 0.0;
-  const size_t n = x.codes.size();
-  for (size_t i = 0; i < n; ++i) {
-    int32_t cx = x.codes[i], cy = y.codes[i], cz = z.codes[i];
-    if (cx < 0 || cy < 0 || cz < 0) continue;
-    double w = weights != nullptr ? (*weights)[i] : 1.0;
-    if (w <= 0.0) continue;
-    uint64_t key = PackKey3(static_cast<uint32_t>(cx),
-                            static_cast<uint32_t>(cy),
-                            static_cast<uint32_t>(cz), by, bz);
-    xyz[key] += w;
-    total += w;
+// The hash escape kernel behind its own (salted) memo tag. No cube
+// sharing: its summation order is not reproducible from a cube.
+double CachedHashCmi(const CodedVariable& x, const CodedVariable& y,
+                     const CodedVariable& z,
+                     const std::vector<double>* weights,
+                     const EntropyOptions& options, int by, int bz) {
+  uint64_t skey = 0;
+  if (info_cache::Enabled()) {
+    const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(),
+                             z.fingerprint()};
+    skey = info_cache::ScalarKey(kTagCmiHash, fps, 3,
+                                 info_cache::WeightsFingerprint(weights),
+                                 options.miller_madow);
+    double memo = 0.0;
+    if (info_cache::LookupScalar(skey, &memo)) return memo;
   }
-  if (total <= 0.0) return 0.0;
-
-  std::unordered_map<uint64_t, double> xz, yz, zonly;
-  xz.reserve(xyz.size());
-  yz.reserve(xyz.size());
-  for (const auto& [key, c] : xyz) {
-    uint64_t kx, ky, kz;
-    UnpackKey3(key, by, bz, &kx, &ky, &kz);
-    xz[(kx << bz) | kz] += c;
-    yz[(ky << bz) | kz] += c;
-    zonly[kz] += c;
-  }
-  double h_xyz = EntropyOfMap(xyz, total, options);
-  double h_xz = EntropyOfMap(xz, total, options);
-  double h_yz = EntropyOfMap(yz, total, options);
-  double h_z = EntropyOfMap(zonly, total, options);
-  return std::max(0.0, h_xz + h_yz - h_xyz - h_z);
+  double r = HashCmi(x, y, z, weights, options, by, bz);
+  if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
+  return r;
 }
 
 // Masks variable `v` to the rows present in `support` (code >= 0), so all
@@ -325,9 +206,9 @@ CodedVariable MaskTo(const CodedVariable& v, const CodedVariable& support) {
   return out;
 }
 
-// The constant conditioning axis MI lends to the dense CMI kernel.
-// Cached per thread so its fingerprint (an O(n) hash) is computed once
-// per row count rather than per call.
+// The constant conditioning axis MI lends to the CMI kernels. Cached per
+// thread so its fingerprint (an O(n) hash) is computed once per row
+// count rather than per call.
 const CodedVariable& TrivialFor(size_t n) {
   thread_local CodedVariable trivial;
   if (trivial.codes.size() != n || trivial.cardinality != 1) {
@@ -347,12 +228,25 @@ double MutualInformation(const CodedVariable& x, const CodedVariable& y,
   MESA_COUNT("info/mi_evals");
   MESA_SPAN("mi");
   CancelCheckpoint();  // per-estimator-evaluation checkpoint
-  // I(X;Y) = I(X;Y|const); small-cardinality pairs take the dense path.
+  // I(X;Y) = I(X;Y|const): every key width a cube kernel can serve goes
+  // through it with a constant conditioning axis, which is what lets MI
+  // evaluations share cubes (and memo slots) with CMI over the same
+  // pair — above as well as below the dense limit since the packed
+  // kernel arrived.
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
-  if (bx + by + 1 <= 20) {
-    return CachedDenseCmi(x, y, TrivialFor(x.codes.size()), weights, options,
-                          bx, by, 1);
+  const Resolved kernel = ResolveKernel(bx + by + 1);
+  CountKernel(kernel);
+  switch (kernel) {
+    case Resolved::kDense:
+    case Resolved::kPacked:
+      return CachedCubeCmi(x, y, TrivialFor(x.codes.size()), weights, options,
+                           bx, by, 1, kernel == Resolved::kDense);
+    case Resolved::kHash:
+      return CachedHashCmi(x, y, TrivialFor(x.codes.size()), weights, options,
+                           by, 1);
+    case Resolved::kFallback:
+      break;
   }
   uint64_t skey = 0;
   if (info_cache::Enabled()) {
@@ -384,11 +278,20 @@ double ConditionalMutualInformation(const CodedVariable& x,
   int bx = BitsFor(std::max<int32_t>(1, x.cardinality));
   int by = BitsFor(std::max<int32_t>(1, y.cardinality));
   int bz = BitsFor(std::max<int32_t>(1, z.cardinality));
-  if (bx + by + bz <= 20) {
-    // Small key space: dense counting beats hashing, and the counted
-    // cube is shareable across partitions of the same triple.
-    return CachedDenseCmi(x, y, z, weights, options, bx, by, bz);
+  const Resolved kernel = ResolveKernel(bx + by + bz);
+  CountKernel(kernel);
+  switch (kernel) {
+    case Resolved::kDense:
+    case Resolved::kPacked:
+      return CachedCubeCmi(x, y, z, weights, options, bx, by, bz,
+                           kernel == Resolved::kDense);
+    case Resolved::kHash:
+      return CachedHashCmi(x, y, z, weights, options, by, bz);
+    case Resolved::kFallback:
+      break;
   }
+  // Key too wide for any packed kernel (> 64 bits): derive from the
+  // composite-entropy identity.
   uint64_t skey = 0;
   if (info_cache::Enabled()) {
     const uint64_t fps[3] = {x.fingerprint(), y.fingerprint(),
@@ -399,19 +302,14 @@ double ConditionalMutualInformation(const CodedVariable& x,
     double memo = 0.0;
     if (info_cache::LookupScalar(skey, &memo)) return memo;
   }
-  double r;
-  if (bx + by + bz <= 64) {
-    r = PackedCmi(x, y, z, weights, options, by, bz);
-  } else {
-    CodedVariable xz = CombinePair(x, z);
-    CodedVariable yz = CombinePair(y, z);
-    CodedVariable xyz = CombinePair(xz, y);
-    double h_xz = Entropy(MaskTo(xz, xyz), weights, options);
-    double h_yz = Entropy(MaskTo(yz, xyz), weights, options);
-    double h_xyz = Entropy(xyz, weights, options);
-    double h_z = Entropy(MaskTo(z, xyz), weights, options);
-    r = std::max(0.0, h_xz + h_yz - h_xyz - h_z);
-  }
+  CodedVariable xz = CombinePair(x, z);
+  CodedVariable yz = CombinePair(y, z);
+  CodedVariable xyz = CombinePair(xz, y);
+  double h_xz = Entropy(MaskTo(xz, xyz), weights, options);
+  double h_yz = Entropy(MaskTo(yz, xyz), weights, options);
+  double h_xyz = Entropy(xyz, weights, options);
+  double h_z = Entropy(MaskTo(z, xyz), weights, options);
+  double r = std::max(0.0, h_xz + h_yz - h_xyz - h_z);
   if (info_cache::Enabled()) info_cache::InsertScalar(skey, r);
   return r;
 }

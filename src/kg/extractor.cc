@@ -116,35 +116,48 @@ Result<std::set<std::string>> DistinctKeys(const Table& table,
 Result<Table> AssembleUniversalRelation(const std::string& column,
                                         const ExtractedRows& rows,
                                         const std::set<std::string>& attr_names) {
-  std::map<std::string, DataType> attr_types;
-  for (const std::string& name : attr_names) {
-    bool all_numeric = true;
+  // Type inference is independent per attribute (double if every
+  // observed value is numeric, else string), and the names are already
+  // sorted, so inferring in parallel and keeping name order changes
+  // nothing about the schema.
+  const std::vector<std::string> names(attr_names.begin(), attr_names.end());
+  std::vector<DataType> types(names.size(), DataType::kDouble);
+  ParallelFor(0, names.size(), [&](size_t a) {
+    CancelCheckpoint();
     for (const auto& [key, attrs] : rows) {
       (void)key;
-      auto it = attrs.find(name);
+      auto it = attrs.find(names[a]);
       if (it != attrs.end() && !it->second.is_numeric()) {
-        all_numeric = false;
-        break;
+        types[a] = DataType::kString;
+        return;
       }
     }
-    attr_types[name] = all_numeric ? DataType::kDouble : DataType::kString;
-  }
+  });
 
   Schema schema;
   MESA_RETURN_IF_ERROR(schema.AddField({column, DataType::kString}));
-  for (const auto& [name, type] : attr_types) {
-    MESA_RETURN_IF_ERROR(schema.AddField({name, type}));
+  for (size_t a = 0; a < names.size(); ++a) {
+    MESA_RETURN_IF_ERROR(schema.AddField({names[a], types[a]}));
   }
   std::vector<Column> cols;
   cols.emplace_back(DataType::kString);
-  for (const auto& [name, type] : attr_types) {
-    (void)name;
-    cols.emplace_back(type);
-  }
-  for (const auto& [key, attrs] : rows) {
-    cols[0].AppendString(key);
-    size_t c = 1;
-    for (const auto& [name, type] : attr_types) {
+  for (DataType type : types) cols.emplace_back(type);
+  // Each column is a pure function of its own attribute's values in row
+  // order, so materializing column-parallel emits exactly the appends of
+  // the serial row-major loop.
+  ParallelFor(0, cols.size(), [&](size_t c) {
+    CancelCheckpoint();
+    if (c == 0) {
+      for (const auto& [key, attrs] : rows) {
+        (void)attrs;
+        cols[0].AppendString(key);
+      }
+      return;
+    }
+    const std::string& name = names[c - 1];
+    const DataType type = types[c - 1];
+    for (const auto& [key, attrs] : rows) {
+      (void)key;
       auto it = attrs.find(name);
       if (it == attrs.end()) {
         cols[c].AppendNull();
@@ -153,17 +166,16 @@ Result<Table> AssembleUniversalRelation(const std::string& column,
       } else {
         cols[c].AppendString(it->second.ToString());
       }
-      ++c;
     }
-  }
+  });
   return Table::Make(std::move(schema), std::move(cols));
 }
 
-// Collapses one key's multi-valued properties into its output row.
-void CollapseIntoRow(const std::string& key,
-                     std::map<std::string, std::vector<Value>>& props,
-                     AggregateFunction agg, ExtractedRows* rows,
-                     std::set<std::string>* attr_names) {
+// Collapses one key's multi-valued properties into its output row's
+// attribute map, recording each surviving attribute name.
+std::map<std::string, Value> CollapseProps(
+    std::map<std::string, std::vector<Value>>& props, AggregateFunction agg,
+    std::set<std::string>* attr_names) {
   std::map<std::string, Value> collapsed;
   for (auto& [name, values] : props) {
     Value v = CollapseValues(values, agg);
@@ -172,7 +184,7 @@ void CollapseIntoRow(const std::string& key,
       attr_names->insert(name);
     }
   }
-  rows->emplace_back(key, std::move(collapsed));
+  return collapsed;
 }
 
 // Per-value scan output. The scans below (serial or worker-sharded) fill
@@ -188,31 +200,68 @@ struct ValueSlot {
   ResilientKgClient::Counters counters;  ///< client shard path only.
 };
 
+// Fixed key chunk of the parallel slot replay; a constant so the chunk
+// decomposition depends only on the key count.
+constexpr size_t kAssembleChunkKeys = 256;
+// Below this many keys the serial replay wins outright.
+constexpr size_t kAssembleParallelThreshold = 512;
+
 void AssembleSlots(const std::vector<std::string>& keys,
                    std::vector<ValueSlot>& slots, AggregateFunction agg,
                    ExtractionStats* stats, ExtractedRows* rows,
                    std::set<std::string>* attr_names) {
-  for (size_t i = 0; i < keys.size(); ++i) {
+  // Replays one slot into its (precomputed) output row — exactly one row
+  // per key, so rows are written by index — and tallies into
+  // chunk-local stats/names that merge in chunk order below. Every
+  // output is a pure per-key function plus an order-independent
+  // reduction (integer sums, set union), so the parallel replay is
+  // byte-identical to the serial one at any thread count.
+  auto replay = [&](size_t i, ExtractionStats* st,
+                    std::set<std::string>* names) {
     ValueSlot& slot = slots[i];
+    std::map<std::string, Value> attrs;
     switch (slot.outcome) {
       case ValueSlot::Outcome::kFailed:
-        ++stats->values_failed;
-        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        ++st->values_failed;
         break;
       case ValueSlot::Outcome::kAmbiguous:
-        ++stats->values_ambiguous;
-        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        ++st->values_ambiguous;
         break;
       case ValueSlot::Outcome::kNotFound:
-        ++stats->values_not_found;
-        rows->emplace_back(keys[i], std::map<std::string, Value>{});
+        ++st->values_not_found;
         break;
       case ValueSlot::Outcome::kLinked:
-        ++stats->values_linked;
-        if (slot.any_failure) ++stats->values_failed;
-        CollapseIntoRow(keys[i], slot.props, agg, rows, attr_names);
+        ++st->values_linked;
+        if (slot.any_failure) ++st->values_failed;
+        attrs = CollapseProps(slot.props, agg, names);
         break;
     }
+    (*rows)[i] = {keys[i], std::move(attrs)};
+  };
+
+  rows->resize(keys.size());
+  if (keys.size() < kAssembleParallelThreshold || !DataPlaneParallel()) {
+    for (size_t i = 0; i < keys.size(); ++i) replay(i, stats, attr_names);
+    return;
+  }
+  const size_t num_chunks =
+      (keys.size() + kAssembleChunkKeys - 1) / kAssembleChunkKeys;
+  std::vector<ExtractionStats> chunk_stats(num_chunks);
+  std::vector<std::set<std::string>> chunk_names(num_chunks);
+  ParallelFor(0, num_chunks, [&](size_t c) {
+    CancelCheckpoint();
+    const size_t lo = c * kAssembleChunkKeys;
+    const size_t hi = std::min(keys.size(), lo + kAssembleChunkKeys);
+    for (size_t i = lo; i < hi; ++i) {
+      replay(i, &chunk_stats[c], &chunk_names[c]);
+    }
+  });
+  for (size_t c = 0; c < num_chunks; ++c) {
+    stats->values_linked += chunk_stats[c].values_linked;
+    stats->values_ambiguous += chunk_stats[c].values_ambiguous;
+    stats->values_not_found += chunk_stats[c].values_not_found;
+    stats->values_failed += chunk_stats[c].values_failed;
+    attr_names->insert(chunk_names[c].begin(), chunk_names[c].end());
   }
 }
 

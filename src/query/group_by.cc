@@ -23,6 +23,11 @@ constexpr size_t kGroupByMorselRows = 2048;
 constexpr size_t kGroupByPartitions = 64;  // power of two
 // Below this row count the serial reference loop wins outright.
 constexpr size_t kGroupByParallelThreshold = 4096;
+// Fixed slice count of the order-stable parallel merge (phase 3); a
+// constant, so slice boundaries depend only on the grouped data.
+constexpr size_t kGroupByMergeSlices = 32;
+// Below this many output groups the serial fold + finalize wins.
+constexpr size_t kGroupByMergeThreshold = 256;
 
 // Hash of one row's group-key tuple. Rows whose tuples compare equal hash
 // identically (each tuple position reads one column, so values at a
@@ -34,6 +39,103 @@ uint64_t GroupKeyHash(const std::vector<const Column*>& gcols, size_t r) {
     h = MixSeed(h, static_cast<uint64_t>(ValueHash{}(c->GetValue(r))));
   }
   return h;
+}
+
+using PartitionMap = std::map<std::vector<Value>, AggregateAccumulator>;
+
+// Phase 3 for large results: merges the per-partition maps into the
+// globally sorted output and finalizes every group, morsel-parallel and
+// order-stable. Partitions hold disjoint, internally sorted key sets, so
+// the merged order is unique; the merge is sliced by splitter keys drawn
+// from the largest partition — fixed positions, so the slice boundaries
+// (hence the output) are a pure function of the data, never of the
+// thread count. Each group's finalize is independent; output rows are
+// written by precomputed global index. Byte-identical to the serial fold
+// (asserted in tests/query_parallel_test.cc).
+Result<GroupByResult> MergeFinalizeParallel(
+    std::array<PartitionMap, kGroupByPartitions>* parts, size_t input_rows) {
+  using Node = PartitionMap::value_type;
+  std::array<std::vector<Node*>, kGroupByPartitions> flat;
+  ParallelFor(0, kGroupByPartitions, [&](size_t p) {
+    PartitionMap& part = (*parts)[p];
+    flat[p].reserve(part.size());
+    for (Node& kv : part) flat[p].push_back(&kv);
+  });
+  size_t big = 0;
+  size_t total = 0;
+  for (size_t p = 0; p < kGroupByPartitions; ++p) {
+    total += flat[p].size();
+    if (flat[p].size() > flat[big].size()) big = p;
+  }
+
+  // Partition p contributes [bounds[p][s], bounds[p][s+1]) to slice s.
+  // Slice s covers the key range [splitter s-1, splitter s); duplicate
+  // splitters (a pivot partition smaller than the slice count) just
+  // yield empty slices.
+  constexpr size_t kSlices = kGroupByMergeSlices;
+  std::array<std::array<size_t, kSlices + 1>, kGroupByPartitions> bounds;
+  std::array<const std::vector<Value>*, kSlices> splitters;  // [1, kSlices)
+  for (size_t s = 1; s < kSlices; ++s) {
+    splitters[s] = &flat[big][s * flat[big].size() / kSlices]->first;
+  }
+  ParallelFor(0, kGroupByPartitions, [&](size_t p) {
+    bounds[p][0] = 0;
+    bounds[p][kSlices] = flat[p].size();
+    for (size_t s = 1; s < kSlices; ++s) {
+      bounds[p][s] =
+          std::lower_bound(flat[p].begin(), flat[p].end(), *splitters[s],
+                           [](const Node* e, const std::vector<Value>& key) {
+                             return e->first < key;
+                           }) -
+          flat[p].begin();
+    }
+  });
+  std::array<size_t, kSlices + 1> slice_off{};
+  for (size_t s = 0; s < kSlices; ++s) {
+    size_t size = 0;
+    for (size_t p = 0; p < kGroupByPartitions; ++p) {
+      size += bounds[p][s + 1] - bounds[p][s];
+    }
+    slice_off[s + 1] = slice_off[s] + size;
+  }
+  MESA_CHECK(slice_off[kSlices] == total);
+
+  GroupByResult out;
+  out.input_rows = input_rows;
+  out.groups.resize(total);
+  std::array<Status, kSlices> slice_err;
+  ParallelFor(0, kSlices, [&](size_t s) {
+    CancelCheckpoint();
+    std::array<size_t, kGroupByPartitions> cur;
+    for (size_t p = 0; p < kGroupByPartitions; ++p) cur[p] = bounds[p][s];
+    for (size_t at = slice_off[s]; at < slice_off[s + 1]; ++at) {
+      int best = -1;
+      for (size_t p = 0; p < kGroupByPartitions; ++p) {
+        if (cur[p] == bounds[p][s + 1]) continue;
+        if (best < 0 ||
+            flat[p][cur[p]]->first < flat[best][cur[best]]->first) {
+          best = static_cast<int>(p);
+        }
+      }
+      Node* e = flat[best][cur[best]++];
+      Result<double> v = e->second.Finalize();
+      if (!v.ok()) {
+        slice_err[s] = v.status();
+        return;
+      }
+      GroupResult& g = out.groups[at];
+      g.group = e->first.front();
+      g.values = e->first;
+      g.aggregate = *v;
+      g.count = e->second.count();
+    }
+  });
+  // Deterministic first-error semantics: lowest slice (therefore lowest
+  // global group index) wins, matching what the serial loop would hit.
+  for (const Status& st : slice_err) {
+    if (!st.ok()) return st;
+  }
+  return out;
 }
 
 }  // namespace
@@ -180,16 +282,24 @@ Result<GroupByResult> GroupByAggregate(
       }
     });
 
-    // Phase 3 — merge in canonical order: partitions are disjoint by key,
-    // so folding their (already sorted) maps into one map re-creates the
-    // serial map without touching any accumulator.
+    for (const MorselBuckets& mb : morsels) input_rows += mb.input_rows;
+
+    // Phase 3 — merge in canonical order: partitions are disjoint by
+    // key, so their (already sorted) maps interleave into one unique
+    // global order without touching any accumulator. Large results take
+    // the sliced parallel merge + finalize; small ones fold serially
+    // into `accs` below (bit-identical either way).
+    size_t total_groups = 0;
+    for (const auto& part : parts) total_groups += part.size();
+    if (total_groups >= kGroupByMergeThreshold) {
+      return MergeFinalizeParallel(&parts, input_rows);
+    }
     for (auto& part : parts) {
       for (auto& [k, acc] : part) {
         accs.emplace(k, std::move(acc));
       }
       part.clear();
     }
-    for (const MorselBuckets& mb : morsels) input_rows += mb.input_rows;
   }
 
   GroupByResult out;

@@ -148,16 +148,22 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
         mm.right_rows.push_back(match);
       }
     });
-    size_t total = 0;
-    for (const MorselMatches& mm : morsels) total += mm.left_rows.size();
-    left_rows.reserve(total);
-    right_rows.reserve(total);
-    for (const MorselMatches& mm : morsels) {
-      left_rows.insert(left_rows.end(), mm.left_rows.begin(),
-                       mm.left_rows.end());
-      right_rows.insert(right_rows.end(), mm.right_rows.begin(),
-                        mm.right_rows.end());
+    // Concatenate the per-morsel buffers in morsel order via prefix
+    // offsets: every morsel knows its destination, so the copies run in
+    // parallel and the row order is exactly the serial probe's.
+    std::vector<size_t> offsets(num_morsels + 1, 0);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      offsets[m + 1] = offsets[m] + morsels[m].left_rows.size();
     }
+    left_rows.resize(offsets.back());
+    right_rows.resize(offsets.back());
+    ParallelFor(0, num_morsels, [&](size_t m) {
+      const MorselMatches& mm = morsels[m];
+      std::copy(mm.left_rows.begin(), mm.left_rows.end(),
+                left_rows.begin() + offsets[m]);
+      std::copy(mm.right_rows.begin(), mm.right_rows.end(),
+                right_rows.begin() + offsets[m]);
+    });
   }
 
   // Assemble output: all left columns, then right columns minus its key.
@@ -190,26 +196,54 @@ Result<Table> HashJoin(const Table& left, const std::string& left_key,
     (void)name;
     gathered.emplace_back(right.schema().field(c).type);
   }
-  const bool parallel_cols =
-      kept.size() > 1 && right_rows.size() >= kJoinParallelThreshold &&
-      DataPlaneParallel();
-  auto gather = [&](size_t k) {
-    CancelCheckpoint();
+  // Gather a slice of the matched rows into `col`, with the exact per-row
+  // logic of the serial reference loop.
+  auto gather_range = [&](size_t k, size_t lo, size_t hi, Column* col) {
     const Column& src = right.column(kept[k].first);
-    Column& col = gathered[k];
-    for (int64_t rr : right_rows) {
+    for (size_t i = lo; i < hi; ++i) {
+      int64_t rr = right_rows[i];
       if (rr < 0 || src.IsNull(static_cast<size_t>(rr))) {
-        col.AppendNull();
+        col->AppendNull();
       } else {
-        Status st = col.Append(src.GetValue(static_cast<size_t>(rr)));
+        Status st = col->Append(src.GetValue(static_cast<size_t>(rr)));
         MESA_CHECK(st.ok());
       }
     }
   };
-  if (parallel_cols) {
-    ParallelFor(0, kept.size(), gather);
+  const size_t out_rows = right_rows.size();
+  if (out_rows >= kJoinParallelThreshold && DataPlaneParallel()) {
+    // Morsel-parallel over (column x fixed row chunk) fragments — so even
+    // a single wide gather scales — concatenated per column in chunk
+    // order. AppendFrom copies fragment runs verbatim, so the assembled
+    // column is byte-identical to the serial gather at any thread count.
+    const size_t num_chunks =
+        (out_rows + kJoinMorselRows - 1) / kJoinMorselRows;
+    std::vector<std::vector<Column>> fragments(kept.size());
+    for (size_t k = 0; k < kept.size(); ++k) {
+      fragments[k].reserve(num_chunks);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        fragments[k].emplace_back(right.schema().field(kept[k].first).type);
+      }
+    }
+    ParallelFor(0, kept.size() * num_chunks, [&](size_t t) {
+      CancelCheckpoint();
+      const size_t k = t / num_chunks;
+      const size_t c = t % num_chunks;
+      const size_t lo = c * kJoinMorselRows;
+      const size_t hi = std::min(out_rows, lo + kJoinMorselRows);
+      gather_range(k, lo, hi, &fragments[k][c]);
+    });
+    ParallelFor(0, kept.size(), [&](size_t k) {
+      CancelCheckpoint();
+      for (const Column& fragment : fragments[k]) {
+        gathered[k].AppendFrom(fragment);
+      }
+    });
   } else {
-    for (size_t k = 0; k < kept.size(); ++k) gather(k);
+    for (size_t k = 0; k < kept.size(); ++k) {
+      CancelCheckpoint();
+      gather_range(k, 0, out_rows, &gathered[k]);
+    }
   }
   for (size_t k = 0; k < kept.size(); ++k) {
     const Field& f = right.schema().field(kept[k].first);

@@ -1,6 +1,10 @@
 #include "table/column.h"
 
+#include <algorithm>
+
+#include "common/cancel.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/retry.h"
 #include "common/rng.h"
 
@@ -417,48 +421,117 @@ uint64_t Column::ContentFingerprint() const {
   return h;
 }
 
-Column Column::Take(const std::vector<size_t>& rows) const {
-  Column out(type_);
-  out.valid_.reserve(rows.size());
+void Column::AppendFrom(const Column& src) {
+  MESA_CHECK(src.type_ == type_);
+  MESA_DCHECK(&src != this);
+  EnsureOwned();
+  const size_t n = src.size_;
+  valid_.insert(valid_.end(), src.valid_ptr_, src.valid_ptr_ + n);
   switch (type_) {
     case DataType::kDouble:
-      out.doubles_.reserve(rows.size());
+      doubles_.insert(doubles_.end(), src.double_ptr_, src.double_ptr_ + n);
       break;
     case DataType::kInt64:
-      out.ints_.reserve(rows.size());
+      ints_.insert(ints_.end(), src.int_ptr_, src.int_ptr_ + n);
       break;
     case DataType::kString:
-      out.strings_.reserve(rows.size());
+      if (src.codes_ptr_ == nullptr) {
+        strings_.insert(strings_.end(), src.strings_.begin(),
+                        src.strings_.end());
+      } else {
+        // Dictionary-encoded source: materialize per row. Null rows code
+        // the empty string, matching AppendNull's dead payload.
+        strings_.reserve(strings_.size() + n);
+        for (size_t r = 0; r < n; ++r) strings_.push_back(src.StringAt(r));
+      }
       break;
     case DataType::kBool:
-      out.bools_.reserve(rows.size());
+      bools_.insert(bools_.end(), src.bool_ptr_, src.bool_ptr_ + n);
       break;
     case DataType::kNull:
       break;
   }
-  for (size_t row : rows) {
-    MESA_DCHECK(row < size());
-    if (IsNull(row)) {
-      out.AppendNull();
-      continue;
-    }
+  null_count_ += src.null_count_;
+  size_ += n;
+  SyncPointers();
+}
+
+namespace {
+
+// Fixed morsel for parallel Take: a constant (never a function of the
+// thread count) so the fragment boundaries — and with them every
+// concatenation — are a pure function of the row list.
+constexpr size_t kTakeChunkRows = 4096;
+constexpr size_t kTakeParallelThreshold = 4096;
+
+}  // namespace
+
+Column Column::Take(const std::vector<size_t>& rows) const {
+  // Serial gather of a subrange of the row list.
+  auto gather = [this](const std::vector<size_t>& all, size_t lo, size_t hi) {
+    Column out(type_);
+    out.valid_.reserve(hi - lo);
     switch (type_) {
       case DataType::kDouble:
-        out.AppendDouble(double_ptr_[row]);
+        out.doubles_.reserve(hi - lo);
         break;
       case DataType::kInt64:
-        out.AppendInt(int_ptr_[row]);
+        out.ints_.reserve(hi - lo);
         break;
       case DataType::kString:
-        out.AppendString(StringAt(row));
+        out.strings_.reserve(hi - lo);
         break;
       case DataType::kBool:
-        out.AppendBool(bool_ptr_[row] != 0);
+        out.bools_.reserve(hi - lo);
         break;
       case DataType::kNull:
         break;
     }
+    for (size_t i = lo; i < hi; ++i) {
+      size_t row = all[i];
+      MESA_DCHECK(row < size());
+      if (IsNull(row)) {
+        out.AppendNull();
+        continue;
+      }
+      switch (type_) {
+        case DataType::kDouble:
+          out.AppendDouble(double_ptr_[row]);
+          break;
+        case DataType::kInt64:
+          out.AppendInt(int_ptr_[row]);
+          break;
+        case DataType::kString:
+          out.AppendString(StringAt(row));
+          break;
+        case DataType::kBool:
+          out.AppendBool(bool_ptr_[row] != 0);
+          break;
+        case DataType::kNull:
+          break;
+      }
+    }
+    return out;
+  };
+
+  if (rows.size() < kTakeParallelThreshold || !DataPlaneParallel()) {
+    return gather(rows, 0, rows.size());
   }
+  // Morsel-parallel gather: fixed chunks, concatenated in chunk order.
+  // AppendFrom copies each fragment's payload/validity runs verbatim, so
+  // the result is byte-identical to the serial gather above.
+  const size_t num_chunks = (rows.size() + kTakeChunkRows - 1) / kTakeChunkRows;
+  std::vector<Column> fragments;
+  fragments.reserve(num_chunks);
+  for (size_t c = 0; c < num_chunks; ++c) fragments.emplace_back(type_);
+  ParallelFor(0, num_chunks, [&](size_t c) {
+    CancelCheckpoint();
+    const size_t lo = c * kTakeChunkRows;
+    const size_t hi = std::min(rows.size(), lo + kTakeChunkRows);
+    fragments[c] = gather(rows, lo, hi);
+  });
+  Column out(type_);
+  for (const Column& fragment : fragments) out.AppendFrom(fragment);
   return out;
 }
 

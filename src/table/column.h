@@ -121,7 +121,17 @@ class Column {
   /// Marks an existing slot null (used by missing-data injection).
   void SetNull(size_t row);
 
-  /// Gathers the given rows into a new (owned) column.
+  /// Appends every row of `src` (same type required), nulls included.
+  /// Payload and validity runs are concatenated verbatim — a bulk vector
+  /// insert when `src` is owned — so chaining AppendFrom over fragments
+  /// built by per-row appends is byte-identical to issuing those appends
+  /// sequentially on one column. This is the concatenation primitive the
+  /// order-stable parallel gathers (join assembly, Take) are built on.
+  void AppendFrom(const Column& src);
+
+  /// Gathers the given rows into a new (owned) column. Large gathers run
+  /// morsel-parallel over fixed row chunks, concatenated in chunk order —
+  /// byte-identical to the serial gather at any thread count.
   Column Take(const std::vector<size_t>& rows) const;
 
   /// Stable 64-bit hash of the column's content: type, length, validity

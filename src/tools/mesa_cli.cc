@@ -25,6 +25,7 @@
 #include "core/mesa.h"
 #include "core/report_format.h"
 #include "datagen/registry.h"
+#include "info/cmi_kernel.h"
 #include "info/info_cache.h"
 #include "kg/serialization.h"
 #include "snapshot/reader.h"
@@ -60,6 +61,10 @@ int Usage() {
                                            the entropy/MI/CMI kernels
                                            (default: $MESA_INFO_CACHE, or
                                            on; see docs/performance.md)
+      [--cmi-kernel auto|dense|packed|hash] force the MI/CMI kernel
+                                           (default: $MESA_CMI_KERNEL, or
+                                           auto = pick by key width; see
+                                           docs/architecture.md)
       [--fault-plan PLAN]                  inject KG endpoint faults, e.g.
                                            "seed=7;timeout=0.2;latency=1:5"
                                            (default: $MESA_FAULT_PLAN;
@@ -272,6 +277,16 @@ int RunExplain(const Flags& flags) {
       std::fprintf(stderr, "--info-cache must be 'on' or 'off'\n");
       return 1;
     }
+  }
+
+  if (flags.Has("cmi-kernel")) {
+    CmiKernel kernel = CmiKernel::kAuto;
+    if (!ParseCmiKernel(flags.Get("cmi-kernel"), &kernel)) {
+      std::fprintf(stderr,
+                   "--cmi-kernel must be auto, dense, packed, or hash\n");
+      return 1;
+    }
+    SetCmiKernelMode(kernel);
   }
 
   MesaOptions options;

@@ -1,0 +1,323 @@
+// Tests for the MI/CMI kernel family (src/info/cmi_kernel.h): the dense
+// arena and the sort-packed sparse kernel must agree *bit-for-bit* on
+// every input (the canonical-cube contract), the legacy hash kernel must
+// agree to ulp-level, and the packed path must unlock joint-cube sharing
+// above the 20-bit dense limit where the old code recorded zero cube
+// hits. Own binary: it resizes the global pool, flips the process-wide
+// kernel override, and clears the process-wide cache.
+
+#include "info/cmi_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "info/info_cache.h"
+#include "info/key_packing.h"
+#include "info/mutual_information.h"
+
+namespace mesa {
+namespace {
+
+// Restores the kernel override, the pool, and the cache when a test exits.
+struct KernelGuard {
+  ~KernelGuard() {
+    SetCmiKernelMode(CmiKernel::kAuto);
+    SetNumThreads(1);
+    info_cache::SetEnabled(true);
+    info_cache::Clear();
+  }
+};
+
+CodedVariable RandomCoded(Rng& rng, size_t n, int32_t card,
+                          double missing_p) {
+  CodedVariable v;
+  v.codes.resize(n);
+  for (auto& c : v.codes) {
+    c = rng.NextBernoulli(missing_p)
+            ? -1
+            : static_cast<int32_t>(rng.NextBelow(card));
+  }
+  v.cardinality = card;
+  return v;
+}
+
+// One seeded dataset (odd seeds weighted, like info_cache_test.cc) pushed
+// through every kernel-dispatching estimator: MI, CMI over all three
+// partitions of the triple (exercising cube repacking), and a repeat call
+// (exercising the scalar memo). Cardinalities alternate between small
+// (dense territory) and wide (packed territory) with the seed.
+std::vector<double> KernelBattery(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 500 + 41 * (seed % 5);
+  const bool wide = seed % 3 == 0;
+  CodedVariable x = RandomCoded(rng, n, wide ? 300 : 2 + seed % 5, 0.1);
+  CodedVariable y = RandomCoded(rng, n, wide ? 200 : 3 + seed % 4, 0.0);
+  CodedVariable z = RandomCoded(rng, n, wide ? 50 : 2 + seed % 3, 0.05);
+  std::vector<double> weights;
+  const std::vector<double>* w = nullptr;
+  if (seed % 2 == 1) {
+    weights.resize(n);
+    for (auto& wi : weights) wi = rng.NextUniform(0.5, 2.0);
+    w = &weights;
+  }
+  EntropyOptions mm;
+  mm.miller_madow = true;
+
+  std::vector<double> out;
+  out.push_back(MutualInformation(x, y, w));
+  out.push_back(MutualInformation(x, y, w, mm));
+  out.push_back(ConditionalMutualInformation(x, y, z, w));
+  out.push_back(ConditionalMutualInformation(x, z, y, w));
+  out.push_back(ConditionalMutualInformation(y, z, x, w));
+  out.push_back(ConditionalMutualInformation(x, y, z, w, mm));
+  out.push_back(ConditionalMutualInformation(x, y, z, w));  // memo repeat
+  out.push_back(InteractionInformation(x, y, z, w));
+  return out;
+}
+
+std::vector<double> BatteryWithKernel(uint64_t seed, CmiKernel kernel) {
+  SetCmiKernelMode(kernel);
+  // Fresh cache per arm so no arm can serve another arm's memoized value
+  // (the dense and packed kernels *intentionally* share memo entries).
+  info_cache::Clear();
+  return KernelBattery(seed);
+}
+
+// ------------------------------------------------------- mode parsing
+
+TEST(CmiKernelMode, ParseAndName) {
+  CmiKernel k = CmiKernel::kHash;
+  EXPECT_TRUE(ParseCmiKernel("auto", &k));
+  EXPECT_EQ(k, CmiKernel::kAuto);
+  EXPECT_TRUE(ParseCmiKernel("dense", &k));
+  EXPECT_EQ(k, CmiKernel::kDense);
+  EXPECT_TRUE(ParseCmiKernel("packed", &k));
+  EXPECT_EQ(k, CmiKernel::kPacked);
+  EXPECT_TRUE(ParseCmiKernel("hash", &k));
+  EXPECT_EQ(k, CmiKernel::kHash);
+  EXPECT_FALSE(ParseCmiKernel("sparse", &k));
+  EXPECT_FALSE(ParseCmiKernel("", &k));
+  EXPECT_EQ(k, CmiKernel::kHash);  // unchanged on parse failure
+  EXPECT_STREQ(CmiKernelName(CmiKernel::kAuto), "auto");
+  EXPECT_STREQ(CmiKernelName(CmiKernel::kDense), "dense");
+  EXPECT_STREQ(CmiKernelName(CmiKernel::kPacked), "packed");
+  EXPECT_STREQ(CmiKernelName(CmiKernel::kHash), "hash");
+}
+
+// ------------------------------------------- dense == packed, bitwise
+
+// The canonical-cube contract: dense and packed build the *same* sparse
+// cube (same entries, same per-cell addend order, same summation order),
+// so every estimate is bit-identical — across 20 seeded datasets, with
+// and without IPW weights, at 1, 2, and 8 threads, cache on or off.
+TEST(CmiKernelProperty, DensePackedBitIdenticalAcrossSeedsAndThreads) {
+  KernelGuard guard;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SetNumThreads(1);
+    info_cache::SetEnabled(false);
+    const std::vector<double> reference =
+        BatteryWithKernel(seed, CmiKernel::kDense);
+    for (size_t threads : {1, 2, 8}) {
+      SetNumThreads(threads);
+      for (bool cached : {false, true}) {
+        info_cache::SetEnabled(cached);
+        std::vector<double> dense = BatteryWithKernel(seed, CmiKernel::kDense);
+        std::vector<double> packed =
+            BatteryWithKernel(seed, CmiKernel::kPacked);
+        std::vector<double> aut = BatteryWithKernel(seed, CmiKernel::kAuto);
+        ASSERT_EQ(reference.size(), packed.size());
+        for (size_t q = 0; q < reference.size(); ++q) {
+          const std::string label = "seed=" + std::to_string(seed) +
+                                    " threads=" + std::to_string(threads) +
+                                    " cached=" + std::to_string(cached) +
+                                    " quantity=" + std::to_string(q);
+          EXPECT_EQ(reference[q], dense[q]) << label << " (dense)";
+          EXPECT_EQ(reference[q], packed[q]) << label << " (packed)";
+          EXPECT_EQ(reference[q], aut[q]) << label << " (auto)";
+        }
+      }
+    }
+  }
+}
+
+// The legacy hash kernel visits cells in hash-map iteration order, so it
+// is *not* bit-identical — but it must agree to ulp-level slack.
+TEST(CmiKernelProperty, HashKernelAgreesToUlpLevel) {
+  KernelGuard guard;
+  SetNumThreads(1);
+  info_cache::SetEnabled(false);
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<double> packed = BatteryWithKernel(seed, CmiKernel::kPacked);
+    std::vector<double> hash = BatteryWithKernel(seed, CmiKernel::kHash);
+    ASSERT_EQ(packed.size(), hash.size());
+    for (size_t q = 0; q < packed.size(); ++q) {
+      const double tol =
+          1e-9 * std::max({1.0, std::fabs(packed[q]), std::fabs(hash[q])});
+      EXPECT_NEAR(packed[q], hash[q], tol)
+          << "seed=" << seed << " quantity=" << q;
+    }
+  }
+}
+
+// Permuting the input rows permutes only the order in which each cell's
+// count accumulates. Unweighted counts are small integers, so the cube —
+// and with it every estimate — must be *bitwise* invariant under row
+// permutation, on both kernels.
+TEST(CmiKernelProperty, UnweightedEstimatesInvariantUnderRowPermutation) {
+  KernelGuard guard;
+  SetNumThreads(8);
+  info_cache::SetEnabled(false);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 77 + 1);
+    const size_t n = 3000;
+    CodedVariable x = RandomCoded(rng, n, 40, 0.1);
+    CodedVariable y = RandomCoded(rng, n, 30, 0.0);
+    CodedVariable z = RandomCoded(rng, n, 20, 0.05);
+
+    std::vector<size_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = i;
+    for (size_t i = n; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.NextBelow(i)]);
+    }
+    auto permuted = [&](const CodedVariable& v) {
+      CodedVariable p = v;
+      for (size_t i = 0; i < n; ++i) p.codes[i] = v.codes[perm[i]];
+      p.InvalidateFingerprint();
+      return p;
+    };
+    CodedVariable px = permuted(x), py = permuted(y), pz = permuted(z);
+
+    for (CmiKernel kernel : {CmiKernel::kDense, CmiKernel::kPacked}) {
+      SetCmiKernelMode(kernel);
+      EXPECT_EQ(ConditionalMutualInformation(x, y, z),
+                ConditionalMutualInformation(px, py, pz))
+          << "seed=" << seed << " kernel=" << CmiKernelName(kernel);
+      EXPECT_EQ(MutualInformation(x, y), MutualInformation(px, py))
+          << "seed=" << seed << " kernel=" << CmiKernelName(kernel);
+    }
+  }
+}
+
+// --------------------------------------- cube sharing above 20 bits
+
+// Before the packed kernel, any triple wider than the 20-bit dense arena
+// fell back to the chain-rule identity and recorded *zero* cube traffic.
+// Now the packed kernel materializes a canonical cube, so a cross-
+// partition call over the same wide triple must land a cube hit.
+TEST(CmiKernelCache, JointCubeSharedAboveDenseBitLimit) {
+  KernelGuard guard;
+  SetNumThreads(1);
+  info_cache::SetEnabled(true);
+  info_cache::Clear();
+
+  Rng rng(4242);
+  const size_t n = 4000;
+  // 11 + 11 + 6 = 28 key bits: comfortably past kDenseCmiBits = 20.
+  CodedVariable x = RandomCoded(rng, n, 1500, 0.0);
+  CodedVariable y = RandomCoded(rng, n, 1200, 0.0);
+  CodedVariable z = RandomCoded(rng, n, 40, 0.0);
+  ASSERT_GT(info_internal::BitsFor(x.cardinality) +
+                info_internal::BitsFor(y.cardinality) +
+                info_internal::BitsFor(z.cardinality),
+            info_internal::kDenseCmiBits);
+
+  info_cache::Stats before = info_cache::GetStats();
+  double first = ConditionalMutualInformation(x, y, z);
+  info_cache::Stats mid = info_cache::GetStats();
+  EXPECT_GT(mid.cube_misses, before.cube_misses);
+
+  // Different partition of the same triple: served by repacking the
+  // cached cube, not by a rebuild.
+  double repartitioned = ConditionalMutualInformation(x, z, y);
+  info_cache::Stats after = info_cache::GetStats();
+  EXPECT_GT(after.cube_hits, mid.cube_hits)
+      << "wide triple did not share its joint cube";
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(repartitioned, 0.0);
+
+  // And the repacked answer is bitwise what a cold computation gives.
+  info_cache::SetEnabled(false);
+  EXPECT_EQ(repartitioned, ConditionalMutualInformation(x, z, y));
+
+  // Wide MI shares cubes now too (it is CMI with a trivial z axis).
+  info_cache::SetEnabled(true);
+  info_cache::Clear();
+  info_cache::Stats m0 = info_cache::GetStats();
+  MutualInformation(x, y);
+  MutualInformation(y, x);  // commutes onto the same cube
+  info_cache::Stats m1 = info_cache::GetStats();
+  EXPECT_GT(m1.cube_hits, m0.cube_hits);
+}
+
+// Forcing `dense` above the arena limit silently clamps to packed (they
+// are bit-identical, so the clamp is invisible) rather than failing.
+TEST(CmiKernelCache, ForcedDenseClampsToPackedAboveBitLimit) {
+  KernelGuard guard;
+  SetNumThreads(1);
+  info_cache::SetEnabled(false);
+
+  Rng rng(777);
+  const size_t n = 3000;
+  CodedVariable x = RandomCoded(rng, n, 1500, 0.0);
+  CodedVariable y = RandomCoded(rng, n, 1200, 0.0);
+  CodedVariable z = RandomCoded(rng, n, 40, 0.0);
+
+  SetCmiKernelMode(CmiKernel::kPacked);
+  const double packed = ConditionalMutualInformation(x, y, z);
+  SetCmiKernelMode(CmiKernel::kDense);
+  const double clamped = ConditionalMutualInformation(x, y, z);
+  EXPECT_EQ(packed, clamped);
+
+#if MESA_METRICS_ENABLED
+  // The clamp is visible in the selection counters: a forced-dense call
+  // above the limit still counts as a packed selection.
+  const uint64_t packed_before = metrics::CounterValue("info/kernel_packed");
+  const uint64_t dense_before = metrics::CounterValue("info/kernel_dense");
+  ConditionalMutualInformation(x, y, z);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_packed"), packed_before + 1);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_dense"), dense_before);
+#endif
+}
+
+#if MESA_METRICS_ENABLED
+// `auto` routes by key width: narrow triples to the dense arena, wide
+// ones to the packed kernel — observable in the selection counters.
+TEST(CmiKernelCounters, AutoSelectsByKeyWidth) {
+  KernelGuard guard;
+  SetNumThreads(1);
+  info_cache::SetEnabled(false);
+  SetCmiKernelMode(CmiKernel::kAuto);
+
+  Rng rng(31);
+  CodedVariable nx = RandomCoded(rng, 1000, 4, 0.0);
+  CodedVariable ny = RandomCoded(rng, 1000, 3, 0.0);
+  CodedVariable nz = RandomCoded(rng, 1000, 3, 0.0);
+  CodedVariable wx = RandomCoded(rng, 1000, 1500, 0.0);
+  CodedVariable wy = RandomCoded(rng, 1000, 1200, 0.0);
+  CodedVariable wz = RandomCoded(rng, 1000, 40, 0.0);
+
+  uint64_t dense0 = metrics::CounterValue("info/kernel_dense");
+  uint64_t packed0 = metrics::CounterValue("info/kernel_packed");
+  ConditionalMutualInformation(nx, ny, nz);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_dense"), dense0 + 1);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_packed"), packed0);
+  ConditionalMutualInformation(wx, wy, wz);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_packed"), packed0 + 1);
+
+  uint64_t hash0 = metrics::CounterValue("info/kernel_hash");
+  SetCmiKernelMode(CmiKernel::kHash);
+  ConditionalMutualInformation(nx, ny, nz);
+  EXPECT_EQ(metrics::CounterValue("info/kernel_hash"), hash0 + 1);
+}
+#endif  // MESA_METRICS_ENABLED
+
+}  // namespace
+}  // namespace mesa

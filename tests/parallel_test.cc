@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
@@ -15,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/parallel_sort.h"
 #include "common/rng.h"
 #include "core/mcimr.h"
 #include "core/mesa.h"
@@ -359,6 +361,74 @@ TEST(Stress, TwoConcurrentMesaRunsShareOnePool) {
   ExpectSameExplanation(ref0.explanation, got0b.explanation, "run 0b");
   ExpectSameExplanation(ref1.explanation, got1a.explanation, "run 1a");
   ExpectSameExplanation(ref1.explanation, got1b.explanation, "run 1b");
+  SetNumThreads(1);
+}
+
+// ------------------------------------------------------ stable radix sort
+
+// The morsel-parallel LSD radix sort (common/parallel_sort.h) must equal
+// std::stable_sort on every input — any key width, any size (straddling
+// the serial-fallback threshold), any thread count.
+TEST(StableRadixSort, MatchesStdSortAcrossWidthsSizesAndThreads) {
+  for (int key_bits : {1, 8, 13, 24, 37, 64}) {
+    const uint64_t mask = key_bits == 64
+                              ? ~uint64_t{0}
+                              : ((uint64_t{1} << key_bits) - 1);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{1000}, size_t{100000}}) {
+      Rng rng(uint64_t(key_bits) * 1000 + n);
+      std::vector<uint64_t> input(n);
+      for (auto& k : input) k = rng.NextUint64() & mask;
+      std::vector<uint64_t> expected = input;
+      std::sort(expected.begin(), expected.end());
+      for (size_t threads : {1, 2, 8}) {
+        SetNumThreads(threads);
+        std::vector<uint64_t> got = input;
+        StableRadixSort(&got, key_bits);
+        EXPECT_EQ(got, expected)
+            << "bits=" << key_bits << " n=" << n << " threads=" << threads;
+      }
+    }
+  }
+  SetNumThreads(1);
+}
+
+// Stability is the property the packed CMI kernel leans on: rows with
+// equal keys must come out in input order, and — since a stable sort's
+// output is unique — the whole output must be identical at every thread
+// count.
+TEST(StableRadixSort, StableOnEqualKeysAndThreadCountInvariant) {
+  struct Row {
+    uint64_t key;
+    uint32_t idx;
+  };
+  const size_t n = 120000;  // past the parallel threshold
+  Rng rng(99);
+  std::vector<Row> input(n);
+  for (size_t i = 0; i < n; ++i) {
+    // 64 distinct keys over 120k rows: ~2000 rows per tie group.
+    input[i] = {rng.NextUint64() & 63, static_cast<uint32_t>(i)};
+  }
+  std::vector<Row> reference;
+  for (size_t threads : {1, 2, 8}) {
+    SetNumThreads(threads);
+    std::vector<Row> rows = input;
+    StableRadixSortByKey(&rows, 6, [](const Row& r) { return r.key; });
+    for (size_t i = 1; i < n; ++i) {
+      ASSERT_LE(rows[i - 1].key, rows[i].key) << "unsorted at " << i;
+      if (rows[i - 1].key == rows[i].key) {
+        ASSERT_LT(rows[i - 1].idx, rows[i].idx)
+            << "stability violated at " << i << " threads=" << threads;
+      }
+    }
+    if (reference.empty()) {
+      reference = rows;
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(reference[i].key, rows[i].key) << "threads=" << threads;
+        ASSERT_EQ(reference[i].idx, rows[i].idx) << "threads=" << threads;
+      }
+    }
+  }
   SetNumThreads(1);
 }
 

@@ -344,5 +344,191 @@ TEST(QueryParallel, ExtractionBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// ------------------------------------------- high-cardinality tails
+
+// Thousands of distinct groups push group-by's phase 3 past the merge
+// threshold and into the sliced parallel merge + finalize, which must
+// stay bit-identical to the serial fold.
+TEST(QueryParallel, GroupByHighCardinalityBitIdentical) {
+  PoolGuard guard;
+  const AggregateFunction aggs[] = {AggregateFunction::kAvg,
+                                    AggregateFunction::kSum,
+                                    AggregateFunction::kStdDev,
+                                    AggregateFunction::kMedian};
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed * 31);
+    Column key(DataType::kString);
+    Column x(DataType::kDouble);
+    const size_t rows = 30000;
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextBernoulli(0.02)) {
+        key.AppendNull();
+      } else {
+        key.AppendString("g_" + std::to_string(rng.NextBelow(3000)));
+      }
+      if (rng.NextBernoulli(0.05)) {
+        x.AppendNull();
+      } else {
+        x.AppendDouble(rng.NextGaussian(5.0, 2.0));
+      }
+    }
+    Schema schema;
+    ASSERT_TRUE(schema.AddField({"key", DataType::kString}).ok());
+    ASSERT_TRUE(schema.AddField({"x", DataType::kDouble}).ok());
+    auto table = Table::Make(std::move(schema), {std::move(key), std::move(x)});
+    ASSERT_TRUE(table.ok());
+    const AggregateFunction agg = aggs[seed % 4];
+
+    SetDataPlaneParallel(false);
+    SetNumThreads(1);
+    auto serial = GroupByAggregate(*table, "key", "x", agg);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_GT(serial->groups.size(), 1000u)
+        << "dataset failed to cross the parallel-merge threshold";
+
+    SetDataPlaneParallel(true);
+    for (size_t threads : kThreadCounts) {
+      SetNumThreads(threads);
+      auto parallel = GroupByAggregate(*table, "key", "x", agg);
+      ASSERT_TRUE(parallel.ok());
+      ExpectGroupByEqual(*serial, *parallel,
+                         "wide seed " + std::to_string(seed) + " threads " +
+                             std::to_string(threads));
+    }
+  }
+}
+
+// A single kept right-side column over a large probe: the fragment
+// gather must parallelize inside the one column (the old per-column
+// split had nothing to do here) and still assemble byte-identically.
+TEST(QueryParallel, HashJoinLargeSingleColumnBitIdentical) {
+  PoolGuard guard;
+  Rng rng(555);
+  Column lkey(DataType::kString);
+  Column payload(DataType::kDouble);
+  const size_t rows = 20000;
+  for (size_t r = 0; r < rows; ++r) {
+    if (rng.NextBernoulli(0.05)) {
+      lkey.AppendNull();
+    } else {
+      lkey.AppendString("r_" + std::to_string(rng.NextBelow(3000)));
+    }
+    payload.AppendDouble(rng.NextUniform(-1.0, 1.0));
+  }
+  Schema lschema;
+  ASSERT_TRUE(lschema.AddField({"k", DataType::kString}).ok());
+  ASSERT_TRUE(lschema.AddField({"payload", DataType::kDouble}).ok());
+  auto left =
+      Table::Make(std::move(lschema), {std::move(lkey), std::move(payload)});
+  ASSERT_TRUE(left.ok());
+
+  Column rkey(DataType::kString);
+  Column attr(DataType::kString);
+  for (size_t k = 0; k < 2500; ++k) {  // 500 left keys dangle
+    rkey.AppendString("r_" + std::to_string(k));
+    if (k % 7 == 0) {
+      attr.AppendNull();  // null payloads exercise AppendFrom's dict path
+    } else {
+      attr.AppendString("attr_" + std::to_string(rng.NextBelow(50)));
+    }
+  }
+  Schema rschema;
+  ASSERT_TRUE(rschema.AddField({"k", DataType::kString}).ok());
+  ASSERT_TRUE(rschema.AddField({"attr", DataType::kString}).ok());
+  auto right =
+      Table::Make(std::move(rschema), {std::move(rkey), std::move(attr)});
+  ASSERT_TRUE(right.ok());
+
+  for (JoinType type : {JoinType::kLeft, JoinType::kInner}) {
+    JoinOptions options;
+    options.type = type;
+    SetDataPlaneParallel(false);
+    SetNumThreads(1);
+    auto serial = HashJoin(*left, "k", *right, "k", options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    SetDataPlaneParallel(true);
+    for (size_t threads : kThreadCounts) {
+      SetNumThreads(threads);
+      auto parallel = HashJoin(*left, "k", *right, "k", options);
+      ASSERT_TRUE(parallel.ok());
+      ExpectTablesEqual(*serial, *parallel,
+                        "single-col join threads " + std::to_string(threads) +
+                            (type == JoinType::kLeft ? " left" : " inner"));
+    }
+  }
+}
+
+// A synthetic KG with ~1500 linkable entities: enough distinct key
+// values to push AssembleSlots past its parallel threshold, with mixed
+// outcomes (linked / not-found / null) and a type-inferred mixed
+// attribute, all of which must replay byte-identically in parallel.
+TEST(QueryParallel, ExtractionHighCardinalityBitIdentical) {
+  PoolGuard guard;
+  TripleStore store;
+  Rng rng(808);
+  const size_t entities = 1500;
+  for (size_t e = 0; e < entities; ++e) {
+    auto id = store.AddEntity("ent_" + std::to_string(e), "Thing");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(
+        store.AddLiteral(*id, "population", Value::Double(rng.NextGaussian()))
+            .ok());
+    if (e % 3 != 0) {
+      ASSERT_TRUE(store
+                      .AddLiteral(*id, "region",
+                                  Value::String("reg_" +
+                                                std::to_string(e % 11)))
+                      .ok());
+    }
+    // Mixed-type predicate: numeric for some entities, string for others
+    // (the universal relation must infer kString deterministically).
+    if (e % 2 == 0) {
+      ASSERT_TRUE(
+          store.AddLiteral(*id, "mixed", Value::Double(double(e))).ok());
+    } else {
+      ASSERT_TRUE(
+          store.AddLiteral(*id, "mixed", Value::String("m" + std::to_string(e)))
+              .ok());
+    }
+  }
+
+  Column key(DataType::kString);
+  for (size_t r = 0; r < 12000; ++r) {
+    if (rng.NextBernoulli(0.03)) {
+      key.AppendNull();
+    } else if (rng.NextBernoulli(0.05)) {
+      key.AppendString("missing_" + std::to_string(rng.NextBelow(100)));
+    } else {
+      key.AppendString("ent_" + std::to_string(rng.NextBelow(entities)));
+    }
+  }
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"key", DataType::kString}).ok());
+  auto table = Table::Make(std::move(schema), {std::move(key)});
+  ASSERT_TRUE(table.ok());
+
+  ExtractionOptions options;
+  SetDataPlaneParallel(false);
+  SetNumThreads(1);
+  ExtractionStats serial_stats;
+  auto serial = ExtractAttributes(*table, "key", store, options, &serial_stats);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_GT(serial_stats.values_linked, 1000u)
+      << "dataset failed to cross the parallel-assembly threshold";
+  EXPECT_GT(serial_stats.values_not_found, 0u);
+
+  SetDataPlaneParallel(true);
+  for (size_t threads : kThreadCounts) {
+    SetNumThreads(threads);
+    ExtractionStats stats;
+    auto parallel = ExtractAttributes(*table, "key", store, options, &stats);
+    ASSERT_TRUE(parallel.ok());
+    ExpectTablesEqual(*serial, *parallel,
+                      "wide extraction threads " + std::to_string(threads));
+    ExpectStatsEqual(serial_stats, stats);
+  }
+}
+
 }  // namespace
 }  // namespace mesa
